@@ -1,0 +1,47 @@
+//! Criterion microbenchmark: plain vs compressed (CG) cross-graph forward —
+//! the Fig. 12 mechanism at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lan_gnn::{CompressedGnnGraph, CrossGraphNet, CrossInput, GnnConfig};
+use lan_graph::generators::molecule_like;
+use lan_tensor::{ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cross(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_forward");
+    // Fewer labels => more WL-equal nodes => stronger compression.
+    for &labels in &[2u16, 5, 20] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GnnConfig::uniform(labels as usize, 32, 2);
+        let mut store = ParamStore::new();
+        let net = CrossGraphNet::new(&mut rng, &mut store, cfg.clone());
+        let g = molecule_like(&mut rng, 30, 3, 4, labels);
+        let q = molecule_like(&mut rng, 30, 3, 4, labels);
+        let plain_g = CrossInput::plain(&g, &cfg);
+        let plain_q = CrossInput::plain(&q, &cfg);
+        let cg_g = CrossInput::compressed(&CompressedGnnGraph::build(&g, 2), &cfg);
+        let cg_q = CrossInput::compressed(&CompressedGnnGraph::build(&q, 2), &cfg);
+
+        group.bench_with_input(BenchmarkId::new("plain", labels), &(), |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                net.forward(&mut tape, &store, &plain_g, &plain_q)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cg", labels), &(), |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                net.forward(&mut tape, &store, &cg_g, &cg_q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cross
+}
+criterion_main!(benches);

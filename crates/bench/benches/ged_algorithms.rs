@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks for the GED algorithms (the cost LAN's NDC
+//! reduction amortizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lan_ged::beam::beam_ged;
+use lan_ged::bipartite::{bipartite_ged, Solver};
+use lan_ged::exact::{exact_ged, ExactLimits};
+use lan_graph::generators::molecule_like;
+use lan_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pairs(n: usize, count: usize, seed: u64) -> Vec<(Graph, Graph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                molecule_like(&mut rng, n, 3, 4, 20),
+                molecule_like(&mut rng, n, 3, 4, 20),
+            )
+        })
+        .collect()
+}
+
+fn bench_ged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ged");
+    for &n in &[10usize, 25, 48] {
+        let ps = pairs(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &ps, |b, ps| {
+            b.iter(|| {
+                ps.iter()
+                    .map(|(g1, g2)| bipartite_ged(g1, g2, Solver::Hungarian))
+                    .sum::<f64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vj", n), &ps, |b, ps| {
+            b.iter(|| {
+                ps.iter().map(|(g1, g2)| bipartite_ged(g1, g2, Solver::Vj)).sum::<f64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("beam8", n), &ps, |b, ps| {
+            b.iter(|| ps.iter().map(|(g1, g2)| beam_ged(g1, g2, 8)).sum::<f64>())
+        });
+    }
+    // Exact GED only on tiny graphs (NP-hard — this is the paper's point).
+    let tiny = pairs(6, 4, 99);
+    group.bench_function("exact_n6", |b| {
+        b.iter(|| {
+            tiny.iter()
+                .map(|(g1, g2)| {
+                    exact_ged(g1, g2, &ExactLimits::default()).distance().unwrap_or(0.0)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ged
+}
+criterion_main!(benches);

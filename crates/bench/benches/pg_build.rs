@@ -1,0 +1,33 @@
+//! Criterion microbenchmark: proximity-graph construction cost as the
+//! database grows (index-time GED budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lan_datasets::{Dataset, DatasetSpec};
+use lan_ged::GedMethod;
+use lan_pg::{PairCache, PgConfig, ProximityGraph};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pg_build");
+    group.sample_size(10);
+    for &n in &[40usize, 80, 160] {
+        // Hungarian-only metric: the bench isolates construction logic, not
+        // the GED ensemble cost (which `ged_algorithms` measures).
+        let ds = Dataset::generate(
+            DatasetSpec::syn()
+                .with_graphs(n)
+                .with_queries(2)
+                .with_metric(GedMethod::Hungarian),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| {
+                let f = |a: u32, bb: u32| ds.pair_distance(a, bb);
+                let pairs = PairCache::new(&f);
+                ProximityGraph::build(ds.graphs.len(), &pairs, &PgConfig::new(6))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

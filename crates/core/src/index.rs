@@ -1,0 +1,119 @@
+//! Offline index construction: proximity graph + trained models + CGs.
+
+use lan_datasets::Dataset;
+use lan_models::{LanModels, ModelConfig, TrainReport};
+use lan_pg::{PairCache, PgConfig, ProximityGraph};
+
+/// Configuration of the whole LAN index.
+#[derive(Debug, Clone)]
+pub struct LanConfig {
+    pub pg: PgConfig,
+    pub model: ModelConfig,
+    /// γ escalation step `d_s` for np_route (unit-cost GED → 1).
+    pub ds: f64,
+}
+
+impl Default for LanConfig {
+    fn default() -> Self {
+        LanConfig { pg: PgConfig::new(6), model: ModelConfig::default(), ds: 1.0 }
+    }
+}
+
+/// The built LAN index over a dataset.
+pub struct LanIndex {
+    pub dataset: Dataset,
+    pub pg: ProximityGraph,
+    pub models: LanModels,
+    pub report: TrainReport,
+    pub cfg: LanConfig,
+    /// Pairwise distance computations spent building the PG.
+    pub build_ndc: usize,
+}
+
+impl LanIndex {
+    /// Builds the proximity graph, computes the training distance matrix,
+    /// and trains every model. Entirely offline (paper §III-F).
+    pub fn build(dataset: Dataset, cfg: LanConfig) -> Self {
+        let pair_fn = |a: u32, b: u32| dataset.pair_distance(a, b);
+        let pairs = PairCache::new(&pair_fn);
+        let pg = ProximityGraph::build(dataset.graphs.len(), &pairs, &cfg.pg);
+        let build_ndc = pairs.computed();
+
+        // Training distances: one row per training query, parallelized.
+        let train_dists: Vec<Vec<f64>> = {
+            let qis: Vec<usize> = dataset.split.train.clone();
+            std::thread::scope(|s| {
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+                    .min(qis.len().max(1));
+                let chunk = qis.len().div_ceil(threads);
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(qis.len());
+                        let qis = &qis[lo..hi];
+                        let dataset = &dataset;
+                        s.spawn(move || {
+                            qis.iter()
+                                .map(|&qi| {
+                                    (0..dataset.graphs.len() as u32)
+                                        .map(|g| dataset.distance(&dataset.queries[qi], g))
+                                        .collect::<Vec<f64>>()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("distance worker panicked"))
+                    .collect()
+            })
+        };
+
+        let (models, report) =
+            LanModels::train(&dataset, pg.base(), &train_dists, cfg.model.clone());
+        LanIndex { dataset, pg, models, report, cfg, build_ndc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lan_datasets::DatasetSpec;
+    use lan_models::ModelConfig;
+
+    pub(crate) fn tiny_index() -> LanIndex {
+        let ds = lan_datasets::Dataset::generate(
+            DatasetSpec::syn()
+                .with_graphs(50)
+                .with_queries(15)
+                .with_metric(lan_ged::GedMethod::Hungarian),
+        );
+        let cfg = LanConfig {
+            pg: PgConfig::new(4),
+            model: ModelConfig {
+                embed_dim: 8,
+                epochs: 2,
+                max_samples_per_epoch: 150,
+                nh_cover_k: 8,
+                clusters: 3,
+                top_clusters: 2,
+                mlp_hidden: 8,
+                ..ModelConfig::default()
+            },
+            ds: 1.0,
+        };
+        LanIndex::build(ds, cfg)
+    }
+
+    #[test]
+    fn build_completes_and_is_consistent() {
+        let idx = tiny_index();
+        assert_eq!(idx.pg.len(), idx.dataset.graphs.len());
+        assert!(idx.build_ndc > 0);
+        assert!(idx.report.gamma_star > 0.0);
+        assert_eq!(idx.models.db_cgs.len(), idx.dataset.graphs.len());
+    }
+}

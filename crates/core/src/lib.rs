@@ -1,0 +1,36 @@
+//! The LAN system: learning-based approximate k-NN search in graph
+//! databases (Peng et al., ICDE 2022).
+//!
+//! * [`index`] — offline construction: proximity graph, training-distance
+//!   matrix, model training, database CGs;
+//! * [`query`] — online evaluation: LAN (learned initial selection +
+//!   neighbor-pruned routing with CG acceleration) and every
+//!   ablation/baseline combination the paper measures;
+//! * [`l2route`] — the L2route baseline [28] on GIN embeddings;
+//! * [`harness`] — recall–QPS curves, time breakdowns, and the
+//!   interpolation helpers used by the figure-regeneration binaries.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use lan_core::{LanConfig, LanIndex};
+//! use lan_datasets::{Dataset, DatasetSpec};
+//!
+//! let dataset = Dataset::generate(DatasetSpec::aids().with_graphs(200));
+//! let index = LanIndex::build(dataset, LanConfig::default());
+//! let query = index.dataset.queries[0].clone();
+//! let out = index.search(&query, 10, 20);
+//! println!("top-10: {:?}, NDC = {}", out.results, out.ndc);
+//! ```
+
+pub mod harness;
+pub mod index;
+pub mod l2route;
+pub mod sharded;
+pub mod query;
+
+pub use harness::{qps_at_recall, Breakdown, CurvePoint};
+pub use index::{LanConfig, LanIndex};
+pub use l2route::L2RouteIndex;
+pub use sharded::ShardedLanIndex;
+pub use query::{InitStrategy, QueryOutcome, RouteStrategy};

@@ -1,0 +1,170 @@
+//! Online k-ANN query evaluation: LAN and its ablation/baseline variants.
+//!
+//! A query is a combination of an initial-node selection strategy (paper
+//! Fig. 7: `LAN_IS`, `HNSW_IS`, `Rand_IS`) and a routing strategy (Fig. 6:
+//! `LAN_Route` with or without CG acceleration, `HNSW_Route`), all measured
+//! with NDC, wall-clock, and a time breakdown (Fig. 11: distance time vs
+//! cross-graph learning time vs rest).
+
+use crate::index::LanIndex;
+use lan_graph::Graph;
+use lan_models::LearnedRanker;
+use lan_pg::np_route::np_route;
+use lan_pg::{beam_search, DistCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// Initial-node selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// Learned selection via `M_c` + `M_nh` + s-sampling (paper §V).
+    LanIs,
+    /// Greedy descent through the HNSW hierarchy.
+    HnswIs,
+    /// A uniformly random node.
+    RandIs,
+}
+
+/// Routing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// `np_route` with the learned rankers; `use_cg` enables compressed
+    /// GNN-graph inference (paper §VI).
+    LanRoute { use_cg: bool },
+    /// Algorithm 1 exhaustive beam search.
+    HnswRoute,
+}
+
+/// Everything measured about one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// `(distance, id)` results, ascending.
+    pub results: Vec<(f64, u32)>,
+    /// Unique distance computations.
+    pub ndc: usize,
+    /// Total wall-clock of the query.
+    pub total_time: Duration,
+    /// Time inside distance (GED) computations.
+    pub distance_time: Duration,
+    /// Time inside GNN inference (cross-graph learning + heads).
+    pub gnn_time: Duration,
+}
+
+impl QueryOutcome {
+    pub fn ids(&self) -> Vec<u32> {
+        self.results.iter().map(|&(_, id)| id).collect()
+    }
+}
+
+impl LanIndex {
+    /// Full LAN query: learned initial selection + learned-pruned routing
+    /// with CG acceleration.
+    pub fn search(&self, q: &Graph, k: usize, b: usize) -> QueryOutcome {
+        self.search_with(q, k, b, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }, 0)
+    }
+
+    /// The HNSW baseline: hierarchy entry + exhaustive beam routing.
+    pub fn search_hnsw(&self, q: &Graph, k: usize, b: usize) -> QueryOutcome {
+        self.search_with(q, k, b, InitStrategy::HnswIs, RouteStrategy::HnswRoute, 0)
+    }
+
+    /// Any combination of strategies (Figs. 5–7, 10). `seed` feeds the
+    /// random choices (Rand_IS, the s-sample of LAN_IS).
+    pub fn search_with(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+    ) -> QueryOutcome {
+        let t_start = Instant::now();
+        let dist_time = RefCell::new(Duration::ZERO);
+        let qd = |id: u32| {
+            let t0 = Instant::now();
+            let d = self.dataset.distance(q, id);
+            *dist_time.borrow_mut() += t0.elapsed();
+            d
+        };
+        let cache = DistCache::new(&qd);
+        self.models.gnn_timer.reset();
+
+        let use_cg = match route {
+            RouteStrategy::LanRoute { use_cg } => use_cg,
+            // Only relevant when LAN_IS builds a context below.
+            RouteStrategy::HnswRoute => true,
+        };
+        let needs_ctx =
+            matches!(route, RouteStrategy::LanRoute { .. }) || init == InitStrategy::LanIs;
+        let ctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
+
+        // --- Initial node selection. ---
+        let entries: Vec<u32> = match init {
+            InitStrategy::HnswIs => vec![self.pg.hnsw_entry(&cache)],
+            InitStrategy::RandIs => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x9a7d);
+                vec![rng.gen_range(0..self.pg.len()) as u32]
+            }
+            InitStrategy::LanIs => {
+                let ctx = ctx.as_ref().expect("LAN_IS requires a query context");
+                let nh = self.models.predicted_neighborhood(ctx, use_cg);
+                if nh.is_empty() {
+                    vec![self.pg.hnsw_entry(&cache)]
+                } else {
+                    // Sample s graphs from N̂_Q, compute their (counted)
+                    // distances, keep the best one (paper §V-A).
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a41);
+                    let s = self.cfg.model.init_samples.min(nh.len());
+                    let mut picked: Vec<u32> = Vec::with_capacity(s);
+                    while picked.len() < s {
+                        let g = nh[rng.gen_range(0..nh.len())];
+                        if !picked.contains(&g) {
+                            picked.push(g);
+                        }
+                    }
+                    let best = picked
+                        .into_iter()
+                        .min_by(|&a, &b| {
+                            cache
+                                .get(a)
+                                .partial_cmp(&cache.get(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.cmp(&b))
+                        })
+                        .expect("s >= 1");
+                    vec![best]
+                }
+            }
+        };
+
+        // --- Routing. ---
+        let route_result = match route {
+            RouteStrategy::HnswRoute => beam_search(self.pg.base(), &cache, &entries, b, k),
+            RouteStrategy::LanRoute { use_cg } => {
+                let ctx = ctx.as_ref().expect("LAN_Route requires a query context");
+                let ranker = LearnedRanker::new(&self.models, ctx, use_cg);
+                np_route(self.pg.base(), &cache, &ranker, &entries, b, k, self.cfg.ds)
+            }
+        };
+
+        drop(cache);
+        let distance_time = *dist_time.borrow();
+        QueryOutcome {
+            results: route_result.results,
+            ndc: route_result.ndc,
+            total_time: t_start.elapsed(),
+            distance_time,
+            gnn_time: self.models.gnn_timer.total(),
+        }
+    }
+
+    /// Recall@k of a result id list against the brute-force ground truth.
+    pub fn recall(&self, q: &Graph, result_ids: &[u32], k: usize) -> f64 {
+        let truth = self.dataset.ground_truth_knn(q, k);
+        let truth_ids: Vec<u32> = truth.iter().map(|&(_, id)| id).collect();
+        lan_datasets::recall_at_k(result_ids, &truth_ids, k)
+    }
+}

@@ -1,0 +1,418 @@
+//! Exact solvers for the linear sum assignment problem (LSAP).
+//!
+//! Two independent implementations, matching the two bipartite GED
+//! references the paper compares for ground truth:
+//!
+//! * [`hungarian`] — the Kuhn–Munkres algorithm in its O(n³)
+//!   potentials/shortest-augmenting-path form (Riesen & Bunke's "Hung").
+//! * [`lapjv`] — Jonker & Volgenant's LAPJV: column reduction + augmenting
+//!   row reduction preprocessing followed by shortest augmenting paths
+//!   (Fankhauser et al.'s "VJ" speed-up).
+//!
+//! Both return an *optimal* assignment. They may return different optimal
+//! assignments when ties exist, which is why the two derived bipartite GED
+//! approximations can differ on the same pair of graphs.
+
+/// A square cost matrix stored row-major.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        CostMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates from a row-major vector. Panics if `data.len() != n * n`.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        CostMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cost of assigning row `i` to column `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the cost of assigning row `i` to column `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// An optimal assignment: `row_to_col[i]` is the column assigned to row `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub row_to_col: Vec<usize>,
+    pub cost: f64,
+}
+
+/// Kuhn–Munkres with potentials (the classic O(n³) "Hungarian algorithm").
+///
+/// Follows the standard formulation with row potentials `u`, column
+/// potentials `v`, and one Dijkstra-like augmentation per row.
+pub fn hungarian(c: &CostMatrix) -> Assignment {
+    let n = c.n();
+    if n == 0 {
+        return Assignment { row_to_col: vec![], cost: 0.0 };
+    }
+    const INF: f64 = f64::INFINITY;
+    // 1-based internally per the classic formulation; p[j] = row matched to
+    // column j (0 = none).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = c.get(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    let cost = (0..n).map(|i| c.get(i, row_to_col[i])).sum();
+    Assignment { row_to_col, cost }
+}
+
+/// Jonker–Volgenant LAPJV.
+///
+/// Column reduction and augmenting row reduction resolve most rows without
+/// search; the remaining free rows are matched with shortest augmenting
+/// paths over the reduced costs.
+pub fn lapjv(c: &CostMatrix) -> Assignment {
+    let n = c.n();
+    if n == 0 {
+        return Assignment { row_to_col: vec![], cost: 0.0 };
+    }
+    const INF: f64 = f64::INFINITY;
+    let mut x = vec![usize::MAX; n]; // row -> col
+    let mut y = vec![usize::MAX; n]; // col -> row
+    let mut v = vec![0.0f64; n]; // column potentials
+
+    // --- Column reduction (scan columns right-to-left). ---
+    for j in (0..n).rev() {
+        let mut imin = 0usize;
+        let mut min = c.get(0, j);
+        for i in 1..n {
+            let cij = c.get(i, j);
+            if cij < min {
+                min = cij;
+                imin = i;
+            }
+        }
+        v[j] = min;
+        if x[imin] == usize::MAX {
+            x[imin] = j;
+            y[j] = imin;
+        }
+    }
+
+    // --- Augmenting row reduction (two passes over unassigned rows). ---
+    let mut free: Vec<usize> = (0..n).filter(|&i| x[i] == usize::MAX).collect();
+    for _ in 0..2 {
+        let mut k = 0usize;
+        let nfree = free.len();
+        let mut new_free: Vec<usize> = Vec::new();
+        while k < nfree {
+            let i = free[k];
+            k += 1;
+            // Find the two smallest reduced costs in row i.
+            let mut u1 = c.get(i, 0) - v[0];
+            let mut u2 = INF;
+            let mut j1 = 0usize;
+            let mut j2 = usize::MAX;
+            for j in 1..n {
+                let h = c.get(i, j) - v[j];
+                if h < u2 {
+                    if h < u1 {
+                        u2 = u1;
+                        j2 = j1;
+                        u1 = h;
+                        j1 = j;
+                    } else {
+                        u2 = h;
+                        j2 = j;
+                    }
+                }
+            }
+            let mut jbest = j1;
+            let i0 = y[jbest];
+            if u1 < u2 {
+                v[jbest] -= u2 - u1;
+            } else if i0 != usize::MAX {
+                if j2 == usize::MAX {
+                    // No alternative column; leave potentials as-is and fall
+                    // through to the augmentation phase for this row.
+                    new_free.push(i);
+                    continue;
+                }
+                jbest = j2;
+            }
+            x[i] = jbest;
+            let prev = y[jbest];
+            y[jbest] = i;
+            if prev != usize::MAX {
+                if u1 < u2 {
+                    // prev row becomes free and is retried in this pass.
+                    new_free.push(prev);
+                } else {
+                    new_free.push(prev);
+                }
+                x[prev] = usize::MAX;
+            }
+        }
+        free = new_free;
+        if free.is_empty() {
+            break;
+        }
+    }
+
+    // --- Augmentation: shortest augmenting path for each remaining row. ---
+    for &f in &free {
+        let mut d: Vec<f64> = (0..n).map(|j| c.get(f, j) - v[j]).collect();
+        let mut pred = vec![f; n];
+        let mut done = vec![false; n];
+        let mut ready: Vec<usize> = Vec::new();
+        let endj;
+        loop {
+            // Find nearest unscanned column.
+            let mut jmin = usize::MAX;
+            let mut dmin = INF;
+            for j in 0..n {
+                if !done[j] && d[j] < dmin {
+                    dmin = d[j];
+                    jmin = j;
+                }
+            }
+            debug_assert!(jmin != usize::MAX, "LAPJV: no reachable column");
+            done[jmin] = true;
+            ready.push(jmin);
+            if y[jmin] == usize::MAX {
+                endj = jmin;
+                // Update potentials for scanned columns.
+                for &j in &ready {
+                    if j != jmin {
+                        v[j] += d[j] - dmin;
+                    }
+                }
+                break;
+            }
+            // Relax through the row matched to jmin.
+            let i = y[jmin];
+            for j in 0..n {
+                if !done[j] {
+                    let nd = dmin + c.get(i, j) - v[j] - (c.get(i, jmin) - v[jmin]);
+                    if nd < d[j] {
+                        d[j] = nd;
+                        pred[j] = i;
+                    }
+                }
+            }
+        }
+        // Augment along the alternating path.
+        let mut j = endj;
+        loop {
+            let i = pred[j];
+            y[j] = i;
+            std::mem::swap(&mut x[i], &mut j);
+            if j == usize::MAX {
+                break;
+            }
+        }
+    }
+
+    let cost = (0..n).map(|i| c.get(i, x[i])).sum();
+    Assignment { row_to_col: x, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force optimum by permutation enumeration (n <= 8).
+    fn brute(c: &CostMatrix) -> f64 {
+        fn rec(c: &CostMatrix, i: usize, used: &mut [bool], acc: f64, best: &mut f64) {
+            if i == c.n() {
+                *best = best.min(acc);
+                return;
+            }
+            if acc >= *best {
+                return;
+            }
+            for j in 0..c.n() {
+                if !used[j] {
+                    used[j] = true;
+                    rec(c, i + 1, used, acc + c.get(i, j), best);
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(c, 0, &mut vec![false; c.n()], 0.0, &mut best);
+        best
+    }
+
+    fn random_matrix(rng: &mut StdRng, n: usize) -> CostMatrix {
+        let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0..100) as f64).collect();
+        CostMatrix::from_vec(n, data)
+    }
+
+    fn assert_valid(a: &Assignment, n: usize) {
+        let mut seen = vec![false; n];
+        for &j in &a.row_to_col {
+            assert!(j < n);
+            assert!(!seen[j], "column assigned twice");
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = CostMatrix::zeros(0);
+        assert_eq!(hungarian(&c).cost, 0.0);
+        assert_eq!(lapjv(&c).cost, 0.0);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let c = CostMatrix::from_vec(1, vec![7.0]);
+        assert_eq!(hungarian(&c).cost, 7.0);
+        assert_eq!(lapjv(&c).cost, 7.0);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Classic 3x3 with optimum 5 (1 + 2 + 2 along the anti-diagonal-ish).
+        let c = CostMatrix::from_vec(3, vec![4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0]);
+        let h = hungarian(&c);
+        let j = lapjv(&c);
+        assert_eq!(h.cost, 5.0);
+        assert_eq!(j.cost, 5.0);
+        assert_valid(&h, 3);
+        assert_valid(&j, 3);
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_zero() {
+        let n = 5;
+        let mut c = CostMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                c.set(i, j, if i == j { 0.0 } else { 10.0 });
+            }
+        }
+        assert_eq!(hungarian(&c).cost, 0.0);
+        assert_eq!(lapjv(&c).cost, 0.0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 2..=7 {
+            for _ in 0..25 {
+                let c = random_matrix(&mut rng, n);
+                let want = brute(&c);
+                let h = hungarian(&c);
+                let j = lapjv(&c);
+                assert_eq!(h.cost, want, "hungarian wrong on n={n}");
+                assert_eq!(j.cost, want, "lapjv wrong on n={n}");
+                assert_valid(&h, n);
+                assert_valid(&j, n);
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_larger_random() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let c = random_matrix(&mut rng, 40);
+            let h = hungarian(&c);
+            let j = lapjv(&c);
+            assert!((h.cost - j.cost).abs() < 1e-9, "{} vs {}", h.cost, j.cost);
+            assert_valid(&h, 40);
+            assert_valid(&j, 40);
+        }
+    }
+
+    #[test]
+    fn handles_infinities_as_forbidden() {
+        // One forbidden cell off the only remaining feasible permutation.
+        let big = 1e18;
+        let c = CostMatrix::from_vec(2, vec![big, 1.0, 2.0, big]);
+        assert_eq!(hungarian(&c).cost, 3.0);
+        assert_eq!(lapjv(&c).cost, 3.0);
+    }
+
+    #[test]
+    fn ties_still_optimal() {
+        let c = CostMatrix::from_vec(3, vec![1.0; 9]);
+        assert_eq!(hungarian(&c).cost, 3.0);
+        assert_eq!(lapjv(&c).cost, 3.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Method selection facade and the paper's ground-truth protocol.
+
+use crate::beam::beam_ged;
+use crate::bipartite::{bipartite_ged, Solver};
+use crate::exact::{exact_ged, ExactLimits, ExactOutcome};
+use lan_graph::Graph;
+
+/// A GED computation method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GedMethod {
+    /// Exact A\*; `None` is returned on timeout.
+    Exact { timeout_ms: u64 },
+    /// Riesen–Bunke bipartite with Kuhn–Munkres (upper bound).
+    Hungarian,
+    /// Riesen–Bunke bipartite with Jonker–Volgenant (upper bound).
+    Vj,
+    /// Beam search with the given width (upper bound).
+    Beam { width: usize },
+    /// Minimum of Hungarian, VJ, and Beam — the paper's approximate
+    /// ground-truth fallback. Always succeeds.
+    BestOfThree { beam_width: usize },
+}
+
+/// Computes GED between `g1` and `g2` with the selected method.
+///
+/// Returns `None` only for `Exact` on timeout; all approximate methods are
+/// total.
+pub fn ged(g1: &Graph, g2: &Graph, method: &GedMethod) -> Option<f64> {
+    match method {
+        GedMethod::Exact { timeout_ms } => {
+            let limits = ExactLimits { timeout_ms: *timeout_ms, ..ExactLimits::default() };
+            exact_ged(g1, g2, &limits).distance()
+        }
+        GedMethod::Hungarian => Some(bipartite_ged(g1, g2, Solver::Hungarian)),
+        GedMethod::Vj => Some(bipartite_ged(g1, g2, Solver::Vj)),
+        GedMethod::Beam { width } => Some(beam_ged(g1, g2, *width)),
+        GedMethod::BestOfThree { beam_width } => {
+            let h = bipartite_ged(g1, g2, Solver::Hungarian);
+            let v = bipartite_ged(g1, g2, Solver::Vj);
+            let b = beam_ged(g1, g2, *beam_width);
+            Some(h.min(v).min(b))
+        }
+    }
+}
+
+/// Configuration for the ground-truth protocol (paper §VII): try exact GED
+/// under a timeout; on timeout use the best (smallest) of VJ, Hungarian, and
+/// Beam.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundTruthConfig {
+    pub exact_timeout_ms: u64,
+    pub beam_width: usize,
+    /// Skip the exact attempt entirely above this node count (it would time
+    /// out anyway; saves the wasted attempt on large graphs).
+    pub exact_node_cap: usize,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        GroundTruthConfig { exact_timeout_ms: 1_000, beam_width: 16, exact_node_cap: 12 }
+    }
+}
+
+/// Ground-truth GED per the paper's protocol. Returns the distance and
+/// whether it is provably exact.
+pub fn ground_truth_ged(g1: &Graph, g2: &Graph, cfg: &GroundTruthConfig) -> (f64, bool) {
+    if g1.node_count() <= cfg.exact_node_cap && g2.node_count() <= cfg.exact_node_cap {
+        let limits =
+            ExactLimits { timeout_ms: cfg.exact_timeout_ms, ..ExactLimits::default() };
+        if let ExactOutcome::Optimal { distance, .. } = exact_ged(g1, g2, &limits) {
+            return (distance, true);
+        }
+    }
+    let d = ged(g1, g2, &GedMethod::BestOfThree { beam_width: cfg.beam_width })
+        .expect("BestOfThree is total");
+    (d, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lan_graph::generators::{erdos_renyi, molecule_like};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_methods_zero_on_identical() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = molecule_like(&mut rng, 10, 2, 4, 5);
+        for m in [
+            GedMethod::Exact { timeout_ms: 1000 },
+            GedMethod::Hungarian,
+            GedMethod::Vj,
+            GedMethod::Beam { width: 4 },
+            GedMethod::BestOfThree { beam_width: 4 },
+        ] {
+            assert_eq!(ged(&g, &g, &m), Some(0.0), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn best_of_three_no_worse_than_components() {
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..10 {
+            let g1 = erdos_renyi(&mut rng, 8, 9, 4);
+            let g2 = erdos_renyi(&mut rng, 8, 10, 4);
+            let best = ged(&g1, &g2, &GedMethod::BestOfThree { beam_width: 8 }).unwrap();
+            let h = ged(&g1, &g2, &GedMethod::Hungarian).unwrap();
+            let v = ged(&g1, &g2, &GedMethod::Vj).unwrap();
+            let b = ged(&g1, &g2, &GedMethod::Beam { width: 8 }).unwrap();
+            assert!(best <= h && best <= v && best <= b);
+            assert!(best == h || best == v || best == b);
+        }
+    }
+
+    #[test]
+    fn ground_truth_small_is_exact() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let g1 = erdos_renyi(&mut rng, 6, 6, 3);
+        let g2 = erdos_renyi(&mut rng, 6, 7, 3);
+        let (d, exact) = ground_truth_ged(&g1, &g2, &GroundTruthConfig::default());
+        assert!(exact);
+        assert_eq!(
+            Some(d),
+            ged(&g1, &g2, &GedMethod::Exact { timeout_ms: 5_000 })
+        );
+    }
+
+    #[test]
+    fn ground_truth_large_falls_back() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let g1 = molecule_like(&mut rng, 30, 3, 4, 8);
+        let g2 = molecule_like(&mut rng, 32, 3, 4, 8);
+        let (d, exact) = ground_truth_ged(&g1, &g2, &GroundTruthConfig::default());
+        assert!(!exact);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn ground_truth_upper_bounds_true_distance() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..15 {
+            let g1 = erdos_renyi(&mut rng, 5, 5, 3);
+            let g2 = erdos_renyi(&mut rng, 5, 4, 3);
+            let (gt, _) = ground_truth_ged(&g1, &g2, &GroundTruthConfig::default());
+            let exact = ged(&g1, &g2, &GedMethod::Exact { timeout_ms: 5_000 }).unwrap();
+            assert!(gt + 1e-9 >= exact);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Metric-theoretic properties of exact GED and its approximations.
+
+use lan_ged::beam::beam_ged;
+use lan_ged::bipartite::{bipartite_ged, Solver};
+use lan_ged::engine::{ged, ground_truth_ged, GedMethod, GroundTruthConfig};
+use lan_ged::exact::{exact_ged, ExactLimits};
+use lan_graph::generators::erdos_renyi;
+use lan_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny(seed: u64, n: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi(&mut rng, n, n, 3)
+}
+
+fn exact(a: &Graph, b: &Graph) -> f64 {
+    exact_ged(a, b, &ExactLimits::default()).distance().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GED is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn exact_ged_is_a_metric(s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let a = tiny(s1, 4);
+        let b = tiny(s2, 4);
+        let c = tiny(s3, 4);
+        prop_assert_eq!(exact(&a, &a), 0.0);
+        prop_assert_eq!(exact(&a, &b), exact(&b, &a));
+        let (ab, bc, ac) = (exact(&a, &b), exact(&b, &c), exact(&a, &c));
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    /// Every approximation is an upper bound, and BestOfThree equals the
+    /// minimum of its components.
+    #[test]
+    fn approximations_bound_and_compose(s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = tiny(s1, 5);
+        let b = tiny(s2, 5);
+        let ex = exact(&a, &b);
+        let h = bipartite_ged(&a, &b, Solver::Hungarian);
+        let v = bipartite_ged(&a, &b, Solver::Vj);
+        let bm = beam_ged(&a, &b, 4);
+        prop_assert!(h + 1e-9 >= ex);
+        prop_assert!(v + 1e-9 >= ex);
+        prop_assert!(bm + 1e-9 >= ex);
+        let best = ged(&a, &b, &GedMethod::BestOfThree { beam_width: 4 }).unwrap();
+        prop_assert_eq!(best, h.min(v).min(bm));
+    }
+
+    /// The ground-truth protocol never reports a distance below the exact
+    /// one, and reports exactness correctly on small instances.
+    #[test]
+    fn ground_truth_protocol_sound(s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = tiny(s1, 5);
+        let b = tiny(s2, 5);
+        let ex = exact(&a, &b);
+        let (d, is_exact) = ground_truth_ged(&a, &b, &GroundTruthConfig::default());
+        prop_assert!(d + 1e-9 >= ex);
+        if is_exact {
+            prop_assert_eq!(d, ex);
+        }
+    }
+
+    /// GED distances are integers under the unit cost model.
+    #[test]
+    fn unit_costs_are_integral(s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = tiny(s1, 5);
+        let b = tiny(s2, 5);
+        for m in [GedMethod::Hungarian, GedMethod::Vj, GedMethod::Beam { width: 4 }] {
+            let d = ged(&a, &b, &m).unwrap();
+            prop_assert!((d - d.round()).abs() < 1e-9, "{:?} returned non-integer {}", m, d);
+        }
+    }
+}
+
+#[test]
+fn beam_width_one_still_bounds() {
+    // Greedy matcher (width 1) remains a valid upper bound.
+    for seed in 0..20u64 {
+        let a = tiny(seed, 5);
+        let b = tiny(seed + 100, 5);
+        assert!(beam_ged(&a, &b, 1) + 1e-9 >= exact(&a, &b));
+    }
+}
+
+#[test]
+fn size_asymmetric_pairs() {
+    // Large vs small graphs exercise the insertion-heavy paths.
+    let small = tiny(1, 2);
+    let large = tiny(2, 6);
+    let ex = exact(&small, &large);
+    assert!(ex >= (large.node_count() - small.node_count()) as f64);
+    assert!(bipartite_ged(&small, &large, Solver::Vj) >= ex);
+    assert!(beam_ged(&small, &large, 8) >= ex);
+}

@@ -1,0 +1,292 @@
+//! Compressed GNN-graph (CG) — paper Definition 2 and Algorithm 5.
+//!
+//! Nodes of the GNN-graph carrying identical embeddings are grouped per
+//! level. Since GIN embeddings coincide exactly when WL labels coincide
+//! (paper §III-C), Algorithm 5 groups by WL label at each iteration — and
+//! Theorem 4 shows this grouping is optimum: no coarser grouping is valid,
+//! and WL achieves the finest guaranteed-equal partition.
+
+use lan_graph::wl::WlInterner;
+use lan_graph::{Graph, Label};
+
+/// One level of a compressed GNN-graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgLevel {
+    /// `|g|` for each group at this level.
+    pub group_sizes: Vec<u32>,
+    /// For level `l ≥ 1`: `in_edges[j]` lists `(prev_level_group, weight)`
+    /// pairs — the weighted aggregation operands of group `j` (paper
+    /// Definition 2, third bullet). Empty at level 0.
+    pub in_edges: Vec<Vec<(u32, f32)>>,
+    /// Original-graph node → group index at this level.
+    pub membership: Vec<u32>,
+}
+
+/// The compressed GNN-graph `H*_{G,L}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedGnnGraph {
+    /// Levels `0..=L`.
+    pub levels: Vec<CgLevel>,
+    /// Representative raw label of each level-0 group (all members share
+    /// it), used to build the one-hot input features.
+    pub level0_labels: Vec<Label>,
+    /// Node count of the original graph.
+    pub n: usize,
+}
+
+impl CompressedGnnGraph {
+    /// Algorithm 5: builds the CG of `g` for `layers` GIN layers via WL
+    /// labeling. `O(L (|V| + |E|))` plus the per-level grouping.
+    pub fn build(g: &Graph, layers: usize) -> Self {
+        let n = g.node_count();
+        let wl = WlInterner::new().label(g, layers);
+
+        let mut levels: Vec<CgLevel> = Vec::with_capacity(layers + 1);
+        let mut level0_labels: Vec<Label> = Vec::new();
+
+        for l in 0..=layers {
+            // Compact the (already dense-ish) WL ids of this level into
+            // group indices 0..k in order of first appearance.
+            let mut remap: Vec<i64> = Vec::new();
+            let mut membership = vec![0u32; n];
+            let mut group_sizes: Vec<u32> = Vec::new();
+            let mut rep: Vec<usize> = Vec::new();
+            for v in 0..n {
+                let wl_id = wl.labels[l][v] as usize;
+                if remap.len() <= wl_id {
+                    remap.resize(wl_id + 1, -1);
+                }
+                let gid = if remap[wl_id] >= 0 {
+                    remap[wl_id] as u32
+                } else {
+                    let gid = group_sizes.len() as u32;
+                    remap[wl_id] = gid as i64;
+                    group_sizes.push(0);
+                    rep.push(v);
+                    gid
+                };
+                membership[v] = gid;
+                group_sizes[gid as usize] += 1;
+            }
+
+            let in_edges = if l == 0 {
+                level0_labels = rep.iter().map(|&v| g.label(v as u32)).collect();
+                Vec::new()
+            } else {
+                // Weighted edges from level l-1 groups: for a representative
+                // u of group j, w(g_{l-1,i}, g_{l,j}) = |N(u) ∩ g_{l-1,i}|
+                // plus 1 for u's own previous group (the GIN self term).
+                let prev = &levels[l - 1];
+                rep.iter()
+                    .map(|&u| {
+                        let mut counts: Vec<f32> = Vec::new();
+                        let mut bump = |gid: u32| {
+                            let gid = gid as usize;
+                            if counts.len() <= gid {
+                                counts.resize(gid + 1, 0.0);
+                            }
+                            counts[gid] += 1.0;
+                        };
+                        bump(prev.membership[u]);
+                        for &nb in g.neighbors(u as u32) {
+                            bump(prev.membership[nb as usize]);
+                        }
+                        counts
+                            .into_iter()
+                            .enumerate()
+                            .filter(|&(_, w)| w > 0.0)
+                            .map(|(i, w)| (i as u32, w))
+                            .collect()
+                    })
+                    .collect()
+            };
+
+            levels.push(CgLevel { group_sizes, in_edges, membership });
+        }
+
+        let cg = CompressedGnnGraph { levels, level0_labels, n };
+        debug_assert!(cg.validate(g), "CG construction produced inconsistent groups");
+        cg
+    }
+
+    /// Number of groups at level `l`.
+    pub fn groups_at(&self, l: usize) -> usize {
+        self.levels[l].group_sizes.len()
+    }
+
+    /// Total node count `Σ_l |V_l(H*)|`.
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(|lv| lv.group_sizes.len()).sum()
+    }
+
+    /// Total weighted-edge count `Σ_l |E_l(H*)|`.
+    pub fn edge_count(&self) -> usize {
+        self.levels.iter().map(|lv| lv.in_edges.iter().map(Vec::len).sum::<usize>()).sum()
+    }
+
+    /// Verifies Definition 2 holds: within each group at level `l ≥ 1`,
+    /// every member induces the same weighted in-edge vector (this is the
+    /// "all nodes in a group have equal embeddings" guarantee, checked
+    /// structurally). Used by debug assertions and tests.
+    pub fn validate(&self, g: &Graph) -> bool {
+        for l in 1..self.levels.len() {
+            let (prevs, rest) = self.levels.split_at(l);
+            let prev = &prevs[l - 1];
+            let cur = &rest[0];
+            for v in 0..self.n {
+                let gid = cur.membership[v] as usize;
+                let mut counts: std::collections::HashMap<u32, f32> = Default::default();
+                *counts.entry(prev.membership[v]).or_insert(0.0) += 1.0;
+                for &nb in g.neighbors(v as u32) {
+                    *counts.entry(prev.membership[nb as usize]).or_insert(0.0) += 1.0;
+                }
+                let stored: std::collections::HashMap<u32, f32> =
+                    cur.in_edges[gid].iter().copied().collect();
+                if counts != stored {
+                    return false;
+                }
+            }
+        }
+        // Group sizes must sum to n per level; level-0 labels consistent.
+        for lv in &self.levels {
+            if lv.group_sizes.iter().sum::<u32>() as usize != self.n {
+                return false;
+            }
+        }
+        for v in 0..self.n {
+            let gid = self.levels[0].membership[v] as usize;
+            if self.level0_labels[gid] != g.label(v as u32) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lan_graph::generators::{erdos_renyi, molecule_like};
+    use lan_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig2_g() -> Graph {
+        Graph::from_edges(vec![0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap()
+    }
+
+    fn fig2_q() -> Graph {
+        Graph::from_edges(vec![0, 1, 0], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn fig2_g_cg_matches_example4() {
+        // Example 4: every level of H*_{G,2} has two groups; sizes {1, 3}.
+        let cg = CompressedGnnGraph::build(&fig2_g(), 2);
+        for l in 0..=2 {
+            assert_eq!(cg.groups_at(l), 2, "level {l}");
+            let mut sizes = cg.levels[l].group_sizes.clone();
+            sizes.sort_unstable();
+            assert_eq!(sizes, vec![1, 3]);
+        }
+        // w(g_{0,0}, g_{1,0}) = 1 and w(g_{0,1}, g_{1,0}) = 3 for the center
+        // group (v0 is node 0, so its groups come first in our ordering).
+        let center_group = cg.levels[1].membership[0] as usize;
+        let mut edges = cg.levels[1].in_edges[center_group].clone();
+        edges.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(edges, vec![(0, 1.0), (1, 3.0)]);
+        // Leaf group aggregates itself (1) + the center (1).
+        let leaf_group = cg.levels[1].membership[1] as usize;
+        let mut edges = cg.levels[1].in_edges[leaf_group].clone();
+        edges.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(edges, vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn fig2_q_cg_sizes() {
+        // Example 5: h_{H*_{Q,2}} = (2 h_{q_{2,0}} + h_{q_{2,1}}) / 3 —
+        // groups of sizes 2 (the two A endpoints) and 1 (the B center).
+        let cg = CompressedGnnGraph::build(&fig2_q(), 2);
+        for l in 0..=2 {
+            let mut sizes = cg.levels[l].group_sizes.clone();
+            sizes.sort_unstable();
+            assert_eq!(sizes, vec![1, 2], "level {l}");
+        }
+    }
+
+    #[test]
+    fn compression_never_expands() {
+        // Corollary 1's structural premise: per level, groups <= |V| and
+        // edges <= |E| + |V| (the GNN-graph per-level edge count).
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..20 {
+            let g = molecule_like(&mut rng, 20, 3, 4, 4);
+            let cg = CompressedGnnGraph::build(&g, 2);
+            for l in 0..=2 {
+                assert!(cg.groups_at(l) <= g.node_count());
+            }
+            for l in 1..=2 {
+                let cg_edges: usize = cg.levels[l].in_edges.iter().map(Vec::len).sum();
+                assert!(cg_edges <= g.node_count() + 2 * g.edge_count());
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_all_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..30 {
+            let g = erdos_renyi(&mut rng, 12, 15, 3);
+            let cg = CompressedGnnGraph::build(&g, 3);
+            assert!(cg.validate(&g));
+        }
+    }
+
+    #[test]
+    fn grouping_is_wl_finest() {
+        // Theorem 4: groups at level l are exactly the WL classes — no two
+        // distinct WL classes merged, no class split.
+        use lan_graph::wl::wl_labels;
+        let mut rng = StdRng::seed_from_u64(63);
+        let g = molecule_like(&mut rng, 15, 2, 4, 3);
+        let cg = CompressedGnnGraph::build(&g, 2);
+        let wl = wl_labels(&g, 2);
+        for l in 0..=2 {
+            for u in 0..g.node_count() {
+                for v in 0..g.node_count() {
+                    let same_group = cg.levels[l].membership[u] == cg.levels[l].membership[v];
+                    let same_wl = wl.labels[l][u] == wl.labels[l][v];
+                    assert_eq!(same_group, same_wl, "level {l}, nodes {u},{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unique_labels_mean_no_compression() {
+        // All-distinct labels: every group is a singleton; CG degenerates to
+        // the GNN-graph.
+        let g = Graph::from_edges(vec![0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cg = CompressedGnnGraph::build(&g, 2);
+        for l in 0..=2 {
+            assert_eq!(cg.groups_at(l), 4);
+        }
+    }
+
+    #[test]
+    fn single_label_path_compresses_by_symmetry() {
+        // A uniform-label path: ends group together, and compression holds.
+        let g = Graph::from_edges(vec![7; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let cg = CompressedGnnGraph::build(&g, 2);
+        assert!(cg.groups_at(0) == 1);
+        assert!(cg.groups_at(1) == 2); // degree-1 ends vs degree-2 middles
+        assert!(cg.groups_at(2) <= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cg = CompressedGnnGraph::build(&Graph::empty(), 2);
+        assert_eq!(cg.node_count(), 0);
+        assert_eq!(cg.edge_count(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Input feature encoding: one-hot node labels (paper §III-C, `h_u^0`).
+
+use lan_graph::{Graph, Label};
+use lan_tensor::Matrix;
+
+/// One-hot encodes `labels` into an `n × num_labels` matrix.
+///
+/// Labels `>= num_labels` would silently alias, so they panic: the feature
+/// dimensionality is a dataset-wide constant that every model layer is sized
+/// against.
+pub fn one_hot(labels: &[Label], num_labels: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), num_labels);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(
+            (l as usize) < num_labels,
+            "label {l} out of range (num_labels = {num_labels})"
+        );
+        m.set(i, l as usize, 1.0);
+    }
+    m
+}
+
+/// One-hot input features for a whole graph.
+pub fn graph_features(g: &Graph, num_labels: usize) -> Matrix {
+    one_hot(g.labels(), num_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_rows() {
+        let m = one_hot(&[2, 0, 1], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+        assert_eq!(m.row(2), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty() {
+        let m = one_hot(&[], 4);
+        assert_eq!(m.shape(), (0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! Random graph generators.
+//!
+//! These are the structural families behind the synthetic stand-ins for the
+//! paper's datasets (`lan-datasets` parameterizes them to match Table I):
+//!
+//! * [`molecule_like`] — sparse connected graphs made of a random spanning
+//!   tree plus a few ring-closing edges with a degree cap, mimicking the
+//!   chemistry datasets (AIDS, PUBCHEM: avg |E| ≈ avg |V|).
+//! * [`control_flow_like`] — a linear chain of basic blocks with branch
+//!   (diamond) and loop (back-edge) motifs, mimicking LINUX control-flow
+//!   graphs.
+//! * [`power_law_like`] — preferential-attachment graphs with extra random
+//!   edges, mimicking the graphgen-produced SYN dataset (avg |E| ≈ 1.6 avg
+//!   |V| at |V| ≈ 10).
+//! * [`erdos_renyi`] — plain G(n, m) used by the property tests.
+
+use crate::graph::{Graph, GraphBuilder, Label, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws a label from `0..num_labels` with a strongly skewed (Zipf-ish,
+/// exponent 2) distribution: real label sets are heavily skewed — e.g. the
+/// AIDS compounds are ~3/4 carbon — and that skew is what makes WL grouping
+/// (and hence the compressed-GNN-graph acceleration) effective.
+pub fn skewed_label<R: Rng + ?Sized>(rng: &mut R, num_labels: u16) -> Label {
+    debug_assert!(num_labels > 0);
+    // P(l) proportional to (l+1)^-2; inverse-CDF by linear scan
+    // (num_labels <= 51 in all datasets).
+    let w = |l: u16| 1.0 / ((l as f64 + 1.0) * (l as f64 + 1.0));
+    let total: f64 = (0..num_labels).map(w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for l in 0..num_labels {
+        x -= w(l);
+        if x <= 0.0 {
+            return l;
+        }
+    }
+    num_labels - 1
+}
+
+/// Sparse connected "molecule" graph: random spanning tree + `extra_edges`
+/// ring closures, maximum degree `max_degree` (valence cap).
+pub fn molecule_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    extra_edges: usize,
+    max_degree: usize,
+    num_labels: u16,
+) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new();
+    // Labels are run-correlated along the growth order: molecular backbones
+    // are long same-element (carbon) runs, which is what real compound data
+    // looks like and what WL grouping compresses.
+    let mut prev = skewed_label(rng, num_labels);
+    b.add_node(prev);
+    for _ in 1..n {
+        if !rng.gen_bool(0.7) {
+            prev = skewed_label(rng, num_labels);
+        }
+        b.add_node(prev);
+    }
+    // Chain-biased spanning tree: molecules are mostly chains and rings
+    // (average degree ≈ 2), so node i usually extends the chain from node
+    // i-1 and only occasionally branches from a random earlier node. The
+    // long same-label runs this produces are also what gives real compound
+    // data its strong WL compressibility (paper §VI).
+    let mut deg = vec![0usize; n];
+    for i in 1..n {
+        let chain = rng.gen_bool(0.85) && deg[i - 1] < max_degree;
+        let j = if chain {
+            i - 1
+        } else {
+            let mut tries = 0;
+            loop {
+                let j = rng.gen_range(0..i);
+                if deg[j] < max_degree || tries > 16 {
+                    break j;
+                }
+                tries += 1;
+            }
+        };
+        b.add_edge(i as NodeId, j as NodeId).unwrap();
+        deg[i] += 1;
+        deg[j] += 1;
+    }
+    // Ring closures.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 + 20 {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || deg[u] >= max_degree || deg[v] >= max_degree {
+            continue;
+        }
+        if b.has_edge(u as NodeId, v as NodeId) {
+            continue;
+        }
+        b.add_edge(u as NodeId, v as NodeId).unwrap();
+        deg[u] += 1;
+        deg[v] += 1;
+        added += 1;
+    }
+    b.build()
+}
+
+/// Control-flow-like graph: a chain of `n` blocks where each interior block
+/// may open a branch diamond (probability `branch_p`) or close a loop with a
+/// back edge (probability `loop_p`). The result is undirected per the
+/// paper's graph model (§III studies undirected graphs).
+pub fn control_flow_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    branch_p: f64,
+    loop_p: f64,
+    num_labels: u16,
+) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new();
+    // Opcode-class labels repeat in runs (straight-line code is dominated
+    // by a few instruction kinds), mirroring real control-flow graphs.
+    let mut prev = skewed_label(rng, num_labels);
+    b.add_node(prev);
+    for _ in 1..n {
+        if !rng.gen_bool(0.6) {
+            prev = skewed_label(rng, num_labels);
+        }
+        b.add_node(prev);
+    }
+    // Backbone chain.
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId).unwrap();
+    }
+    for i in 1..n.saturating_sub(1) {
+        if rng.gen_bool(branch_p) {
+            // Branch: skip edge i-1 -> i+1 models the "else" arm.
+            let (u, v) = ((i - 1) as NodeId, (i + 1) as NodeId);
+            if !b.has_edge(u, v) {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        if rng.gen_bool(loop_p) && i >= 3 {
+            // Loop: back edge to a random earlier block.
+            let t = rng.gen_range(0..i - 1) as NodeId;
+            if !b.has_edge(i as NodeId, t) {
+                b.add_edge(i as NodeId, t).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Preferential-attachment (Barabási–Albert-flavored) graph with `m` edges
+/// per new node, plus `extra_edges` uniform random edges.
+pub fn power_law_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    extra_edges: usize,
+    num_labels: u16,
+) -> Graph {
+    assert!(n >= 1);
+    let m = m.max(1);
+    let mut b = GraphBuilder::new();
+    // Correlated labels (consecutively generated nodes often share one),
+    // matching the community-label structure of graphgen output.
+    let mut prev = skewed_label(rng, num_labels);
+    b.add_node(prev);
+    for _ in 1..n {
+        if !rng.gen_bool(0.5) {
+            prev = skewed_label(rng, num_labels);
+        }
+        b.add_node(prev);
+    }
+    // `targets` holds one entry per edge endpoint, giving degree-proportional
+    // sampling without bookkeeping.
+    let mut targets: Vec<NodeId> = vec![0];
+    for i in 1..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        for _ in 0..m.min(i) {
+            let mut tries = 0;
+            loop {
+                let t = *targets.choose(rng).unwrap();
+                if t != i as NodeId && !chosen.contains(&t) {
+                    chosen.push(t);
+                    break;
+                }
+                tries += 1;
+                if tries > 16 {
+                    break;
+                }
+            }
+        }
+        if chosen.is_empty() {
+            chosen.push(rng.gen_range(0..i) as NodeId);
+        }
+        for &t in &chosen {
+            if !b.has_edge(i as NodeId, t) {
+                b.add_edge(i as NodeId, t).unwrap();
+                targets.push(i as NodeId);
+                targets.push(t);
+            }
+        }
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 + 20 {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Uniform G(n, m): exactly `m` distinct edges if possible.
+pub fn erdos_renyi<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, num_labels: u16) -> Graph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        let l = rng.gen_range(0..num_labels);
+        b.add_node(l);
+    }
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_m);
+    let mut added = 0;
+    while added < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// True if the graph is connected (empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0 as NodeId];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &w in g.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn molecule_is_connected_and_capped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let g = molecule_like(&mut rng, 25, 3, 4, 51);
+            assert!(is_connected(&g));
+            assert!(g.max_degree() <= 4);
+            assert_eq!(g.node_count(), 25);
+            assert!(g.edge_count() >= 24);
+        }
+    }
+
+    #[test]
+    fn molecule_single_node() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = molecule_like(&mut rng, 1, 5, 4, 10);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn control_flow_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = control_flow_like(&mut rng, 35, 0.3, 0.1, 36);
+        assert!(is_connected(&g));
+        assert_eq!(g.node_count(), 35);
+        assert!(g.edge_count() >= 34);
+    }
+
+    #[test]
+    fn power_law_has_hubs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = power_law_like(&mut rng, 100, 2, 10, 5);
+        assert!(is_connected(&g));
+        // Preferential attachment should produce at least one hub well above
+        // the average degree.
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(g.max_degree() as f64 > 1.5 * avg, "max {} avg {avg}", g.max_degree());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut rng, 10, 12, 3);
+        assert_eq!(g.edge_count(), 12);
+        // Requesting more edges than possible clamps.
+        let g2 = erdos_renyi(&mut rng, 4, 100, 3);
+        assert_eq!(g2.edge_count(), 6);
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let g = molecule_like(&mut rng, 30, 4, 4, 7);
+            assert!(g.labels().iter().all(|&l| l < 7));
+        }
+    }
+
+    #[test]
+    fn skewed_label_prefers_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[skewed_label(&mut rng, 8) as usize] += 1;
+        }
+        assert!(counts[0] > counts[7] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let g1 = molecule_like(&mut StdRng::seed_from_u64(42), 20, 3, 4, 10);
+        let g2 = molecule_like(&mut StdRng::seed_from_u64(42), 20, 3, 4, 10);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn is_connected_detects_disconnection() {
+        let g = Graph::from_edges(vec![0, 0, 0], &[(0, 1)]).unwrap();
+        assert!(!is_connected(&g));
+        assert!(is_connected(&Graph::empty()));
+    }
+}

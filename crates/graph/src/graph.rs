@@ -1,0 +1,348 @@
+//! The core labeled undirected graph type.
+
+use std::fmt;
+
+/// Node index within a single [`Graph`]. Kept at 32 bits: the datasets in the
+/// paper have graphs of at most a few hundred nodes, and the proximity-graph
+/// layer stores millions of these per database.
+pub type NodeId = u32;
+
+/// Node label. The paper's datasets have at most 51 distinct labels
+/// (Table I), so 16 bits are ample.
+pub type Label = u16;
+
+/// Errors produced while constructing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a node that has not been added.
+    UnknownNode(NodeId),
+    /// Self loops are not allowed in the simple graphs the paper studies.
+    SelfLoop(NodeId),
+    /// The edge was already present; graphs are simple (no multi-edges).
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "unknown node id {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self loop on node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected, node-labeled simple graph `G = (V_G, E_G, l_G)` (paper
+/// §III).
+///
+/// The representation is an adjacency list sorted per node, which gives
+/// deterministic iteration order (important for reproducible routing and
+/// learning) and `O(log deg)` edge queries.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    labels: Vec<Label>,
+    /// `adj[u]` holds the sorted neighbor list of `u`.
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn empty() -> Self {
+        Graph { labels: Vec::new(), adj: Vec::new(), edge_count: 0 }
+    }
+
+    /// Builds a graph directly from labels and an edge list.
+    ///
+    /// Edges are deduplicated-checked and validated; see [`GraphBuilder`] for
+    /// incremental construction.
+    pub fn from_edges(labels: Vec<Label>, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::with_labels(labels);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes `|V_G|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E_G|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The label `l_G(v)`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The sorted neighbor list `N_G(v)`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// The degree `|N_G(v)|`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v
+            && (u as usize) < self.adj.len()
+            && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all undirected edges once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            let u = u as NodeId;
+            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The number of distinct labels that occur in the graph.
+    pub fn distinct_labels(&self) -> usize {
+        let mut ls: Vec<Label> = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+
+    /// Applies a node permutation, producing an isomorphic graph where node
+    /// `v` of `self` becomes node `perm[v]` of the result.
+    ///
+    /// Used by the property tests for isomorphism invariance of WL labeling,
+    /// GED, and GNN embeddings. `perm` must be a permutation of
+    /// `0..node_count()`; this is checked with a debug assertion only because
+    /// the function sits inside proptest inner loops.
+    pub fn permute(&self, perm: &[NodeId]) -> Graph {
+        debug_assert_eq!(perm.len(), self.node_count());
+        debug_assert!({
+            let mut seen = vec![false; perm.len()];
+            perm.iter().all(|&p| {
+                let fresh = !seen[p as usize];
+                seen[p as usize] = true;
+                fresh
+            })
+        });
+        let n = self.node_count();
+        let mut labels = vec![0 as Label; n];
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let nv = perm[v] as usize;
+            labels[nv] = self.labels[v];
+            adj[nv] = self.adj[v].iter().map(|&w| perm[w as usize]).collect();
+            adj[nv].sort_unstable();
+        }
+        Graph { labels, adj, edge_count: self.edge_count }
+    }
+
+    /// Histogram of node labels as `(label, count)` pairs sorted by label.
+    ///
+    /// This is the `l = 0` WL histogram and doubles as the node part of the
+    /// label-multiset GED lower bound.
+    pub fn label_histogram(&self) -> Vec<(Label, u32)> {
+        let mut ls: Vec<Label> = self.labels.clone();
+        ls.sort_unstable();
+        let mut out: Vec<(Label, u32)> = Vec::new();
+        for l in ls {
+            match out.last_mut() {
+                Some((pl, c)) if *pl == l => *c += 1,
+                _ => out.push((l, 1)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(|V|={}, |E|={})", self.node_count(), self.edge_count())
+    }
+}
+
+/// Incremental builder enforcing the simple-graph invariants.
+#[derive(Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from a fixed label vector (nodes `0..labels.len()`).
+    pub fn with_labels(labels: Vec<Label>) -> Self {
+        let n = labels.len();
+        GraphBuilder { labels, adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Adds a node with the given label and returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        (self.labels.len() - 1) as NodeId
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.labels.len() as NodeId;
+        if u >= n {
+            return Err(GraphError::UnknownNode(u));
+        }
+        if v >= n {
+            return Err(GraphError::UnknownNode(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if self.adj[u as usize].contains(&v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Whether the edge is already present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        (u as usize) < self.adj.len() && self.adj[u as usize].contains(&v)
+    }
+
+    /// Finalizes, sorting adjacency lists for deterministic iteration.
+    pub fn build(mut self) -> Graph {
+        for ns in &mut self.adj {
+            ns.sort_unstable();
+        }
+        Graph { labels: self.labels, adj: self.adj, edge_count: self.edge_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(vec![0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.distinct_labels(), 0);
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.label(2), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(vec![0; 4], &[(0, 3), (0, 1), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(0);
+        assert_eq!(b.add_edge(v, v), Err(GraphError::SelfLoop(v)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(0);
+        b.add_edge(u, v).unwrap();
+        assert_eq!(b.add_edge(v, u), Err(GraphError::DuplicateEdge(v, u)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        assert_eq!(b.add_edge(u, 7), Err(GraphError::UnknownNode(7)));
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let g = Graph::from_edges(vec![5, 6, 7], &[(0, 1), (1, 2)]).unwrap();
+        let p = g.permute(&[2, 0, 1]);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        // node 0 (label 5) became node 2
+        assert_eq!(p.label(2), 5);
+        assert!(p.has_edge(2, 0)); // old (0,1)
+        assert!(p.has_edge(0, 1)); // old (1,2)
+        assert_eq!(p.degree(0), 2); // old node 1 had degree 2
+    }
+
+    #[test]
+    fn label_histogram_sorted() {
+        let g = Graph::from_edges(vec![3, 1, 3, 1, 1], &[]).unwrap();
+        assert_eq!(g.label_histogram(), vec![(1, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(GraphError::UnknownNode(3).to_string(), "unknown node id 3");
+        assert_eq!(GraphError::SelfLoop(1).to_string(), "self loop on node 1");
+        assert_eq!(GraphError::DuplicateEdge(1, 2).to_string(), "duplicate edge (1, 2)");
+    }
+}

@@ -1,0 +1,198 @@
+//! Plain-text serialization for graphs and graph databases.
+//!
+//! Format (one graph):
+//!
+//! ```text
+//! t <node_count> <edge_count>
+//! v <id> <label>      # node_count lines
+//! e <u> <v>           # edge_count lines
+//! ```
+//!
+//! A database file is a concatenation of graph records. The format is a
+//! simplification of the `t/v/e` files used by the graph-similarity-search
+//! literature the paper builds on.
+
+use crate::graph::{Graph, GraphBuilder, Label, NodeId};
+use std::fmt::Write as _;
+use std::io::{self, BufRead};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    Io(io::Error),
+    /// Unexpected line content, with the 1-based line number.
+    Syntax(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Serializes one graph to the text format.
+pub fn write_graph(g: &Graph, out: &mut String) {
+    let _ = writeln!(out, "t {} {}", g.node_count(), g.edge_count());
+    for v in g.nodes() {
+        let _ = writeln!(out, "v {} {}", v, g.label(v));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {u} {v}");
+    }
+}
+
+/// Serializes a whole database.
+pub fn write_database(db: &[Graph]) -> String {
+    let mut s = String::new();
+    for g in db {
+        write_graph(g, &mut s);
+    }
+    s
+}
+
+/// Parses a database (zero or more graph records) from a reader.
+pub fn read_database<R: BufRead>(reader: R) -> Result<Vec<Graph>, ParseError> {
+    let mut graphs = Vec::new();
+    let mut lines = reader.lines().enumerate();
+
+    while let Some((lno, line)) = lines.next() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        if tag != "t" {
+            return Err(ParseError::Syntax(lno + 1, format!("expected 't', got {tag:?}")));
+        }
+        let n: usize = parse_field(&mut parts, lno, "node count")?;
+        let m: usize = parse_field(&mut parts, lno, "edge count")?;
+
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            let (lno2, line) = next_content_line(&mut lines)?;
+            let mut p = line.split_whitespace();
+            expect_tag(&mut p, "v", lno2)?;
+            let _id: NodeId = parse_field(&mut p, lno2, "node id")?;
+            let label: Label = parse_field(&mut p, lno2, "label")?;
+            b.add_node(label);
+        }
+        for _ in 0..m {
+            let (lno2, line) = next_content_line(&mut lines)?;
+            let mut p = line.split_whitespace();
+            expect_tag(&mut p, "e", lno2)?;
+            let u: NodeId = parse_field(&mut p, lno2, "edge endpoint")?;
+            let v: NodeId = parse_field(&mut p, lno2, "edge endpoint")?;
+            b.add_edge(u, v)
+                .map_err(|e| ParseError::Syntax(lno2 + 1, e.to_string()))?;
+        }
+        graphs.push(b.build());
+    }
+    Ok(graphs)
+}
+
+/// Parses a database from a string.
+pub fn parse_database(s: &str) -> Result<Vec<Graph>, ParseError> {
+    read_database(s.as_bytes())
+}
+
+fn next_content_line(
+    lines: &mut impl Iterator<Item = (usize, io::Result<String>)>,
+) -> Result<(usize, String), ParseError> {
+    for (lno, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim().to_string();
+        if !t.is_empty() && !t.starts_with('#') {
+            return Ok((lno, t));
+        }
+    }
+    Err(ParseError::Syntax(0, "unexpected end of input".into()))
+}
+
+fn expect_tag<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    want: &str,
+    lno: usize,
+) -> Result<(), ParseError> {
+    match parts.next() {
+        Some(t) if t == want => Ok(()),
+        other => Err(ParseError::Syntax(lno + 1, format!("expected {want:?}, got {other:?}"))),
+    }
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    lno: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    parts
+        .next()
+        .ok_or_else(|| ParseError::Syntax(lno + 1, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::Syntax(lno + 1, format!("invalid {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::molecule_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_single() {
+        let g = Graph::from_edges(vec![0, 1, 1], &[(0, 1), (1, 2)]).unwrap();
+        let mut s = String::new();
+        write_graph(&g, &mut s);
+        let parsed = parse_database(&s).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], g);
+    }
+
+    #[test]
+    fn roundtrip_database() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let db: Vec<Graph> = (0..10).map(|_| molecule_like(&mut rng, 15, 2, 4, 8)).collect();
+        let s = write_database(&db);
+        let parsed = parse_database(&s).unwrap();
+        assert_eq!(parsed, db);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_database("").unwrap().is_empty());
+        assert!(parse_database("\n# comment only\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = "# header\n\nt 2 1\nv 0 5\n# mid comment\nv 1 6\ne 0 1\n";
+        let parsed = parse_database(s).unwrap();
+        assert_eq!(parsed[0].label(0), 5);
+        assert_eq!(parsed[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_database("x 1 0\n").is_err());
+        assert!(parse_database("t 1\n").is_err());
+        assert!(parse_database("t 1 0\nw 0 0\n").is_err());
+        assert!(parse_database("t 2 1\nv 0 0\nv 1 0\ne 0 0\n").is_err()); // self loop
+        assert!(parse_database("t 1 0\nv 0 0\n").is_ok());
+        assert!(parse_database("t 0 0\n").is_ok()); // empty graph record
+        assert!(parse_database("t 1 0\n").is_err()); // declared node missing
+        assert!(parse_database("t 2 1\nv 0 0\nv 1 0\n").is_err()); // truncated
+    }
+}

@@ -1,0 +1,235 @@
+//! Weisfeiler–Lehman (WL) labeling (paper Eq. 2–3).
+//!
+//! GIN (paper §III-C) is exactly as powerful as WL labeling: two nodes with
+//! the same WL label at iteration `l` are guaranteed to carry the same GIN
+//! embedding at layer `l`. The compressed GNN-graph construction
+//! (Algorithm 5) therefore groups nodes by WL label per layer.
+//!
+//! WL labels are interned into dense `u32` ids per iteration, shared across
+//! *both* graphs when two graphs are labeled jointly — this is what lets the
+//! CG cross-graph learning recognize identical embeddings across `G` and `Q`
+//! at layer 0 (input features depend only on the raw label).
+
+use crate::graph::{Graph, Label, NodeId};
+use std::collections::HashMap;
+
+/// The result of `L` WL iterations on a graph.
+///
+/// `labels[l][v]` is the interned WL label of node `v` at iteration `l`,
+/// for `l = 0..=L`. Interned ids are dense per iteration but their numeric
+/// values are only meaningful relative to the [`WlInterner`] that produced
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WlLabeling {
+    /// `labels[l][v]`: WL label of node `v` at iteration `l`.
+    pub labels: Vec<Vec<u32>>,
+}
+
+impl WlLabeling {
+    /// Number of iterations performed (`L`), i.e. `labels.len() - 1`.
+    pub fn iterations(&self) -> usize {
+        self.labels.len() - 1
+    }
+
+    /// Number of distinct WL labels at iteration `l` *within this graph*.
+    pub fn distinct_at(&self, l: usize) -> usize {
+        let mut v = self.labels[l].clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+}
+
+/// Interns WL signatures to dense ids, shared across graphs.
+///
+/// Iteration 0 interns raw node labels; iteration `l > 0` interns
+/// `(own_label_{l-1}, multiset of neighbor labels_{l-1})` signatures
+/// (paper Eq. 2). Using one interner for a set of graphs makes WL ids
+/// comparable across those graphs.
+#[derive(Debug, Default)]
+pub struct WlInterner {
+    level0: HashMap<Label, u32>,
+    /// One signature table per refinement iteration.
+    levels: Vec<HashMap<(u32, Vec<u32>), u32>>,
+}
+
+impl WlInterner {
+    /// A fresh interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern0(&mut self, l: Label) -> u32 {
+        let next = self.level0.len() as u32;
+        *self.level0.entry(l).or_insert(next)
+    }
+
+    fn intern(&mut self, iter: usize, own: u32, mut neigh: Vec<u32>) -> u32 {
+        while self.levels.len() < iter {
+            self.levels.push(HashMap::new());
+        }
+        neigh.sort_unstable();
+        let table = &mut self.levels[iter - 1];
+        let next = table.len() as u32;
+        *table.entry((own, neigh)).or_insert(next)
+    }
+
+    /// Runs `l_max` WL iterations on `g`, recording labels for iterations
+    /// `0..=l_max`.
+    pub fn label(&mut self, g: &Graph, l_max: usize) -> WlLabeling {
+        let n = g.node_count();
+        let mut labels: Vec<Vec<u32>> = Vec::with_capacity(l_max + 1);
+        let mut cur: Vec<u32> = (0..n as NodeId).map(|v| self.intern0(g.label(v))).collect();
+        labels.push(cur.clone());
+        for it in 1..=l_max {
+            let mut next = Vec::with_capacity(n);
+            for v in 0..n as NodeId {
+                let neigh: Vec<u32> =
+                    g.neighbors(v).iter().map(|&w| cur[w as usize]).collect();
+                next.push(self.intern(it, cur[v as usize], neigh));
+            }
+            labels.push(next.clone());
+            cur = next;
+        }
+        WlLabeling { labels }
+    }
+}
+
+/// Convenience: WL-labels a single graph with a private interner.
+pub fn wl_labels(g: &Graph, l_max: usize) -> WlLabeling {
+    WlInterner::new().label(g, l_max)
+}
+
+/// Sorted `(wl_label, count)` histogram of a graph at WL iteration `l`,
+/// using a shared interner so histograms of different graphs are comparable.
+///
+/// Histograms at `l = 1` give a cheap graph-similarity signal used by the
+/// test suite and as a sanity baseline.
+pub fn wl_histogram(interner: &mut WlInterner, g: &Graph, l: usize) -> Vec<(u32, u32)> {
+    let lab = interner.label(g, l);
+    let mut v = lab.labels[l].clone();
+    v.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for x in v {
+        match out.last_mut() {
+            Some((px, c)) if *px == x => *c += 1,
+            _ => out.push((x, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// The example graphs of paper Fig. 2: G is a star with center v0
+    /// labeled A and leaves v1..v3 labeled B (the CG edge weights of
+    /// Example 4 fix this shape); Q is the path A–B–A. Labels: A = 0, B = 1.
+    fn fig2_g() -> Graph {
+        Graph::from_edges(vec![0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap()
+    }
+
+    fn fig2_q() -> Graph {
+        Graph::from_edges(vec![0, 1, 0], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn iteration_zero_is_raw_labels() {
+        let g = fig2_g();
+        let wl = wl_labels(&g, 0);
+        assert_eq!(wl.iterations(), 0);
+        // v1, v2, v3 share label B; v0 is A.
+        assert_eq!(wl.labels[0][1], wl.labels[0][2]);
+        assert_eq!(wl.labels[0][2], wl.labels[0][3]);
+        assert_ne!(wl.labels[0][0], wl.labels[0][1]);
+    }
+
+    #[test]
+    fn fig2_example_grouping() {
+        // Paper Example 2: since l(v1)=l(v2)=l(v3) and the three leaves are
+        // automorphic, h^l_{v1}=h^l_{v2}=h^l_{v3} for l = 0, 1, 2 — WL keeps
+        // them grouped at every iteration (this grouping is what Example 4's
+        // CG relies on).
+        let g = fig2_g();
+        let wl = wl_labels(&g, 2);
+        for l in 0..=2 {
+            assert_eq!(wl.labels[l][1], wl.labels[l][2]);
+            assert_eq!(wl.labels[l][2], wl.labels[l][3]);
+        }
+        // v0 (label A) stays distinct throughout.
+        assert_ne!(wl.labels[1][0], wl.labels[1][1]);
+    }
+
+    #[test]
+    fn query_graph_twins() {
+        // In Q, u0 and u2 are automorphic twins (both A, both adjacent to u1).
+        let q = fig2_q();
+        let wl = wl_labels(&q, 2);
+        for l in 0..=2 {
+            assert_eq!(wl.labels[l][0], wl.labels[l][2], "twins separated at iter {l}");
+        }
+    }
+
+    #[test]
+    fn refinement_is_monotone() {
+        // Once two nodes are separated they stay separated.
+        let g = fig2_g();
+        let wl = wl_labels(&g, 3);
+        for l in 1..=3 {
+            for u in 0..g.node_count() {
+                for v in 0..g.node_count() {
+                    if wl.labels[l - 1][u] != wl.labels[l - 1][v] {
+                        assert_ne!(wl.labels[l][u], wl.labels[l][v]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_interner_aligns_graphs() {
+        let g = fig2_g();
+        let q = fig2_q();
+        let mut int = WlInterner::new();
+        let wg = int.label(&g, 1);
+        let wq = int.label(&q, 1);
+        // Raw label A receives the same interned id in both graphs.
+        assert_eq!(wg.labels[0][0], wq.labels[0][0]);
+        assert_eq!(wg.labels[0][1], wq.labels[0][1]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut int = WlInterner::new();
+        let q = fig2_q();
+        let h = wl_histogram(&mut int, &q, 0);
+        let total: u32 = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn isomorphism_invariance_small() {
+        let g = fig2_g();
+        let p = g.permute(&[3, 0, 1, 2]);
+        let mut i1 = WlInterner::new();
+        let mut i2 = WlInterner::new();
+        let h1 = wl_histogram(&mut i1, &g, 2);
+        let h2 = wl_histogram(&mut i2, &p, 2);
+        // Same multiset of WL labels (ids align because each interner saw
+        // structurally identical signatures in some order; compare counts).
+        let c1: Vec<u32> = {
+            let mut v: Vec<u32> = h1.iter().map(|&(_, c)| c).collect();
+            v.sort_unstable();
+            v
+        };
+        let c2: Vec<u32> = {
+            let mut v: Vec<u32> = h2.iter().map(|&(_, c)| c).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(c1, c2);
+    }
+}

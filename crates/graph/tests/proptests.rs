@@ -1,0 +1,107 @@
+//! Property tests for the graph substrate.
+
+use lan_graph::generators::{
+    control_flow_like, erdos_renyi, is_connected, molecule_like, power_law_like,
+};
+use lan_graph::io::{parse_database, write_database};
+use lan_graph::perturb::perturb;
+use lan_graph::wl::{wl_histogram, WlInterner};
+use lan_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_valid(g: &Graph) {
+    for v in g.nodes() {
+        for &w in g.neighbors(v) {
+            assert_ne!(v, w, "self loop");
+            assert!(g.has_edge(w, v), "asymmetric adjacency");
+        }
+    }
+    assert_eq!(
+        g.edges().count(),
+        g.edge_count(),
+        "edge iterator disagrees with edge_count"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_produce_valid_graphs(seed in any::<u64>(), n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g1 = molecule_like(&mut rng, n, 3, 4, 8);
+        let g2 = control_flow_like(&mut rng, n, 0.2, 0.1, 8);
+        let g3 = power_law_like(&mut rng, n, 2, 2, 4);
+        let g4 = erdos_renyi(&mut rng, n, n, 4);
+        for g in [&g1, &g2, &g3, &g4] {
+            assert_valid(g);
+            prop_assert_eq!(g.node_count(), n);
+        }
+        prop_assert!(is_connected(&g1));
+        prop_assert!(is_connected(&g2));
+        prop_assert!(is_connected(&g3));
+    }
+
+    #[test]
+    fn io_roundtrip(seed in any::<u64>(), count in 0usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db: Vec<Graph> =
+            (0..count).map(|_| molecule_like(&mut rng, 1 + (seed as usize % 12), 2, 4, 6)).collect();
+        let text = write_database(&db);
+        let parsed = parse_database(&text).unwrap();
+        prop_assert_eq!(parsed, db);
+    }
+
+    #[test]
+    fn wl_histogram_invariant_under_permutation(seed in any::<u64>(), n in 2usize..20) {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(&mut rng, n, n + 2, 3);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let p = g.permute(&perm);
+        // Shared interner makes the label ids comparable across both graphs.
+        let mut interner = WlInterner::new();
+        for l in 0..=2usize {
+            let h1 = wl_histogram(&mut interner, &g, l);
+            let h2 = wl_histogram(&mut interner, &p, l);
+            prop_assert_eq!(h1, h2, "WL histograms differ at iteration {}", l);
+        }
+    }
+
+    #[test]
+    fn perturb_respects_budget_and_validity(seed in any::<u64>(), t in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = molecule_like(&mut rng, 10, 2, 4, 5);
+        let (p, applied) = perturb(&mut rng, &g, t, 5);
+        prop_assert!(applied <= t);
+        assert_valid(&p);
+        if t == 0 {
+            prop_assert_eq!(p, g);
+        }
+    }
+
+    #[test]
+    fn wl_refinement_partitions_nest(seed in any::<u64>(), n in 2usize..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(&mut rng, n, n, 3);
+        let wl = lan_graph::wl::wl_labels(&g, 3);
+        for l in 1..=3usize {
+            for u in 0..n {
+                for v in 0..n {
+                    if wl.labels[l][u] == wl.labels[l][v] {
+                        prop_assert_eq!(
+                            wl.labels[l - 1][u],
+                            wl.labels[l - 1][v],
+                            "iteration {} merged nodes split at {}",
+                            l,
+                            l - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

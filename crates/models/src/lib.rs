@@ -1,0 +1,12 @@
+//! The learned models of LAN: neighbor rankers `M_rk^i`, neighborhood model
+//! `M_nh`, cluster model `M_c`, the GIN graph embedder, KMeans, and the
+//! [`learned_ranker::LearnedRanker`] adapter that plugs into
+//! `lan_pg::np_route`.
+
+pub mod kmeans;
+pub mod learned_ranker;
+pub mod models;
+
+pub use kmeans::KMeans;
+pub use learned_ranker::LearnedRanker;
+pub use models::{GnnTimer, LanModels, ModelConfig, QueryContext, TrainReport};

@@ -1,0 +1,789 @@
+//! The learned components of LAN and their training pipelines.
+//!
+//! * the **GIN graph embedder** (node2vec substitute, see DESIGN.md) trained
+//!   as a Siamese distance regressor — its embeddings drive KMeans
+//!   clustering, the cluster model `M_c`, and the L2route baseline;
+//! * the **cross-graph encoder** shared by the neighborhood model and the
+//!   neighbor rankers;
+//! * **`M_nh`** (paper §V-B1): cross-graph embedding `h_{G,Q}` → MLP →
+//!   "is G in N_Q?", trained with negative downsampling;
+//! * **`M_c`** (paper §V-B2): per-cluster intersection-size regressor;
+//! * **`M_rk^i`** (paper §IV-C): `100/y` binary rankers over
+//!   `h_{G',Q} ‖ h_G`, trained only on routing states inside the query
+//!   neighborhood, with heads trained on cached pair embeddings from the
+//!   frozen encoder (an engineering simplification documented in
+//!   DESIGN.md).
+
+use crate::kmeans::KMeans;
+use lan_datasets::Dataset;
+use lan_gnn::{CompressedGnnGraph, CrossGraphNet, CrossInput, Gin, GnnConfig};
+use lan_graph::Graph;
+use lan_tensor::{sigmoid, Adam, Matrix, Mlp, ParamStore, StepDecay, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// Hyperparameters for model training and inference.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// GNN embedding dimension (paper: 128; scaled default 32).
+    pub embed_dim: usize,
+    /// GNN layer count `L`.
+    pub layers: usize,
+    /// The batch parameter `y` in percent (paper: 20 → 5 rankers).
+    pub batch_pct: usize,
+    /// γ\* is set so `N_Q` covers this many NNs... (paper: 200)
+    pub nh_cover_k: usize,
+    /// ...for this fraction of training queries (paper: 0.9).
+    pub nh_cover_quantile: f64,
+    /// Training epochs (paper: 1,000 on a V100S; scaled default).
+    pub epochs: usize,
+    /// Cap on training samples visited per epoch.
+    pub max_samples_per_epoch: usize,
+    /// KMeans cluster count for the optimized `M_nh` design.
+    pub clusters: usize,
+    /// Clusters retained by `M_c` at query time.
+    pub top_clusters: usize,
+    /// Hidden width of the MLP heads.
+    pub mlp_hidden: usize,
+    /// `s`: samples drawn from the predicted neighborhood (paper: 4).
+    pub init_samples: usize,
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            embed_dim: 32,
+            layers: 2,
+            batch_pct: 20,
+            nh_cover_k: 200,
+            nh_cover_quantile: 0.9,
+            epochs: 6,
+            max_samples_per_epoch: 1200,
+            clusters: 8,
+            top_clusters: 3,
+            mlp_hidden: 32,
+            init_samples: 4,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Builds the ranker input feature for one neighbor: the paper's
+/// `h_{G',Q} ‖ h_G`, augmented with the Siamese-GIN distance signal
+/// (elementwise squared difference between the query and neighbor GIN
+/// embeddings plus its sum, i.e. the embedder's distance estimate). The
+/// GIN embedder is trained as a distance regressor, so this injects an
+/// explicit learned-distance feature the binary rankers can threshold.
+pub(crate) fn rk_feature(
+    pair: &[f32],
+    h_g: &[f32],
+    q_gin: &[f32],
+    nb_gin: &[f32],
+) -> Vec<f32> {
+    let mut feat = Vec::with_capacity(pair.len() + h_g.len() + nb_gin.len() + 1);
+    feat.extend_from_slice(pair);
+    feat.extend_from_slice(h_g);
+    let mut total = 0.0f32;
+    for (a, b) in q_gin.iter().zip(nb_gin) {
+        let d2 = (a - b) * (a - b);
+        feat.push(d2);
+        total += d2;
+    }
+    feat.push(total);
+    feat
+}
+
+/// Input dimension of [`rk_feature`] given the embedding dim.
+pub(crate) fn rk_feature_dim(embed_dim: usize) -> usize {
+    4 * embed_dim + 1
+}
+
+/// Accumulates time spent inside GNN inference (for the Fig. 11 breakdown).
+#[derive(Debug, Default)]
+pub struct GnnTimer {
+    total: RefCell<Duration>,
+}
+
+impl GnnTimer {
+    pub fn add(&self, d: Duration) {
+        *self.total.borrow_mut() += d;
+    }
+
+    pub fn total(&self) -> Duration {
+        *self.total.borrow()
+    }
+
+    pub fn reset(&self) {
+        *self.total.borrow_mut() = Duration::ZERO;
+    }
+}
+
+/// Training diagnostics.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// γ\* chosen by the covering rule.
+    pub gamma_star: f64,
+    /// `M_nh` precision on the validation queries (Fig. 8's metric).
+    pub nh_precision: f64,
+    /// `M_nh` recall on the validation queries.
+    pub nh_recall: f64,
+    /// Final `M_nh` training loss.
+    pub nh_loss: f32,
+    /// Final mean ranker training loss.
+    pub rk_loss: f32,
+}
+
+/// The trained LAN model bundle plus precomputed database artifacts.
+pub struct LanModels {
+    pub cfg: ModelConfig,
+    pub num_labels: usize,
+    pub gin: Gin,
+    pub gin_store: ParamStore,
+    pub cross: CrossGraphNet,
+    pub cross_store: ParamStore,
+    pub nh_head: Mlp,
+    pub rk_heads: Vec<Mlp>,
+    pub rk_store: ParamStore,
+    pub mc_head: Mlp,
+    pub mc_store: ParamStore,
+    pub kmeans: KMeans,
+    pub gamma_star: f64,
+    /// GIN embedding of every database graph.
+    pub db_embeds: Vec<Vec<f32>>,
+    /// Precomputed compressed GNN-graphs of the database (paper §VI-C).
+    pub db_cgs: Vec<CompressedGnnGraph>,
+    /// Cross-graph inputs, compressed and plain, per database graph.
+    pub db_inputs_cg: Vec<CrossInput>,
+    pub db_inputs_plain: Vec<CrossInput>,
+    /// Wall-clock spent in GNN inference since the last reset.
+    pub gnn_timer: GnnTimer,
+}
+
+/// A query's precomputed learning context (built once per query).
+pub struct QueryContext {
+    pub input: CrossInput,
+    pub gin_embed: Vec<f32>,
+    /// Per-query memo of pair embeddings `h_G ‖ h_Q` by database graph id:
+    /// the initial-node selection (`M_nh`) and the neighbor rankers
+    /// (`M_rk`) share one encoder, and proximity-graph neighborhoods
+    /// overlap, so each database graph is embedded against the query at
+    /// most once.
+    pair_cache: RefCell<std::collections::HashMap<u32, Vec<f32>>>,
+}
+
+impl LanModels {
+    /// Number of rankers `100 / y`.
+    pub fn num_rankers(cfg: &ModelConfig) -> usize {
+        (100 / cfg.batch_pct).max(1)
+    }
+
+    /// Trains all models on the dataset's training queries, given the
+    /// proximity-graph base adjacency (needed for ranker labels).
+    ///
+    /// `train_dists[qi][g]` must hold the operational distance from
+    /// training query `qi` (indexing `dataset.split.train`) to every
+    /// database graph `g` — computed once by the caller and shared across
+    /// all label builders.
+    pub fn train(
+        dataset: &Dataset,
+        adj: &[Vec<u32>],
+        train_dists: &[Vec<f64>],
+        cfg: ModelConfig,
+    ) -> (Self, TrainReport) {
+        assert_eq!(train_dists.len(), dataset.split.train.len());
+        let num_labels = dataset.spec.num_labels as usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let gcfg = GnnConfig::uniform(num_labels, cfg.embed_dim, cfg.layers);
+
+        // --- γ*: the paper's covering rule. ---
+        let cover_k = cfg.nh_cover_k.min(dataset.graphs.len().saturating_sub(1)).max(1);
+        let mut kth: Vec<f64> = train_dists
+            .iter()
+            .map(|ds| {
+                let mut v = ds.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                v[cover_k - 1]
+            })
+            .collect();
+        kth.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let qi = ((kth.len() as f64 - 1.0) * cfg.nh_cover_quantile).round() as usize;
+        let gamma_star = kth[qi.min(kth.len() - 1)];
+
+        // --- GIN embedder: Siamese squared-L2 distance regression. ---
+        let mut gin_store = ParamStore::new();
+        let gin = Gin::new(&mut rng, &mut gin_store, gcfg.clone());
+        train_embedder(dataset, train_dists, &gin, &mut gin_store, &cfg, &mut rng);
+        let db_embeds: Vec<Vec<f32>> = dataset
+            .graphs
+            .iter()
+            .map(|g| gin.embed(&gin_store, g).data().to_vec())
+            .collect();
+
+        // --- KMeans over embeddings. ---
+        let kmeans = KMeans::fit(&db_embeds, cfg.clusters, 50, cfg.seed ^ 0x5eed);
+
+        // --- M_nh: cross encoder + head, negative downsampling. ---
+        let mut cross_store = ParamStore::new();
+        let cross = CrossGraphNet::new(&mut rng, &mut cross_store, gcfg.clone());
+        let nh_head = Mlp::new(
+            &mut rng,
+            &mut cross_store,
+            &[2 * cfg.embed_dim, cfg.mlp_hidden, 1],
+        );
+        let dist_head = Mlp::new(
+            &mut rng,
+            &mut cross_store,
+            &[2 * cfg.embed_dim, cfg.mlp_hidden, 1],
+        );
+        let db_inputs_plain: Vec<CrossInput> =
+            dataset.graphs.iter().map(|g| CrossInput::plain(g, &gcfg)).collect();
+        let nh_loss = train_nh(
+            dataset,
+            train_dists,
+            gamma_star,
+            &cross,
+            &nh_head,
+            &dist_head,
+            &mut cross_store,
+            &db_inputs_plain,
+            &gcfg,
+            &cfg,
+            &mut rng,
+        );
+
+        // --- M_rk heads on frozen-encoder pair embeddings. ---
+        let mut rk_store = ParamStore::new();
+        let nr = Self::num_rankers(&cfg);
+        let rk_heads: Vec<Mlp> = (0..nr)
+            .map(|_| {
+                Mlp::new(&mut rng, &mut rk_store, &[rk_feature_dim(cfg.embed_dim), cfg.mlp_hidden, 1])
+            })
+            .collect();
+        let rk_loss = train_rk(
+            dataset,
+            adj,
+            train_dists,
+            gamma_star,
+            &cross,
+            &cross_store,
+            &db_inputs_plain,
+            &db_embeds,
+            &gin,
+            &gin_store,
+            &rk_heads,
+            &mut rk_store,
+            &gcfg,
+            &cfg,
+            &mut rng,
+        );
+
+        // --- M_c: per-cluster intersection-size regression. ---
+        let mut mc_store = ParamStore::new();
+        let mc_head = Mlp::new(&mut rng, &mut mc_store, &[2 * cfg.embed_dim, cfg.mlp_hidden, 1]);
+        train_mc(
+            dataset,
+            train_dists,
+            gamma_star,
+            &kmeans,
+            &db_embeds,
+            &gin,
+            &gin_store,
+            &mc_head,
+            &mut mc_store,
+            &cfg,
+            &mut rng,
+        );
+
+        // --- Precompute database CGs (paper §VI-C: one-off). ---
+        let db_cgs: Vec<CompressedGnnGraph> = dataset
+            .graphs
+            .iter()
+            .map(|g| CompressedGnnGraph::build(g, cfg.layers))
+            .collect();
+        let db_inputs_cg: Vec<CrossInput> =
+            db_cgs.iter().map(|cg| CrossInput::compressed(cg, &gcfg)).collect();
+
+        let models = LanModels {
+            cfg,
+            num_labels,
+            gin,
+            gin_store,
+            cross,
+            cross_store,
+            nh_head,
+            rk_heads,
+            rk_store,
+            mc_head,
+            mc_store,
+            kmeans,
+            gamma_star,
+            db_embeds,
+            db_cgs,
+            db_inputs_cg,
+            db_inputs_plain,
+            gnn_timer: GnnTimer::default(),
+        };
+
+        // --- Validation precision of M_nh (Fig. 8). ---
+        let (nh_precision, nh_recall) = models.nh_precision_on(dataset, &dataset.split.val);
+
+        let report =
+            TrainReport { gamma_star, nh_precision, nh_recall, nh_loss, rk_loss };
+        (models, report)
+    }
+
+    /// GNN config used by all networks.
+    pub fn gnn_config(&self) -> GnnConfig {
+        GnnConfig::uniform(self.num_labels, self.cfg.embed_dim, self.cfg.layers)
+    }
+
+    /// GIN embedding of an arbitrary graph.
+    pub fn embed(&self, g: &Graph) -> Vec<f32> {
+        self.gin.embed(&self.gin_store, g).data().to_vec()
+    }
+
+    /// Builds the query's learning context. With `use_cg` the query's
+    /// compressed GNN-graph is built once here (the paper's on-the-fly,
+    /// one-off CG cost).
+    pub fn query_context(&self, q: &Graph, use_cg: bool) -> QueryContext {
+        let t0 = Instant::now();
+        let gcfg = self.gnn_config();
+        let input = if use_cg {
+            let cg = CompressedGnnGraph::build(q, self.cfg.layers);
+            CrossInput::compressed(&cg, &gcfg)
+        } else {
+            CrossInput::plain(q, &gcfg)
+        };
+        let gin_embed = self.embed(q);
+        self.gnn_timer.add(t0.elapsed());
+        QueryContext { input, gin_embed, pair_cache: RefCell::new(Default::default()) }
+    }
+
+    /// The cross-graph pair embedding `h_G ‖ h_Q` for database graph `g`.
+    /// `use_cg` selects the compressed database input (Definition 3).
+    pub fn pair_embedding(&self, ctx: &QueryContext, g: u32, use_cg: bool) -> Vec<f32> {
+        if let Some(v) = ctx.pair_cache.borrow().get(&g) {
+            return v.clone();
+        }
+        let t0 = Instant::now();
+        let gi = if use_cg {
+            &self.db_inputs_cg[g as usize]
+        } else {
+            &self.db_inputs_plain[g as usize]
+        };
+        let mut tape = Tape::new();
+        let out = self.cross.forward(&mut tape, &self.cross_store, gi, &ctx.input);
+        let v = tape.value(out.h_pair).data().to_vec();
+        self.gnn_timer.add(t0.elapsed());
+        ctx.pair_cache.borrow_mut().insert(g, v.clone());
+        v
+    }
+
+    /// `M_nh` logit for database graph `g`.
+    pub fn nh_logit(&self, ctx: &QueryContext, g: u32, use_cg: bool) -> f32 {
+        let pair = self.pair_embedding(ctx, g, use_cg);
+        let t0 = Instant::now();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(1, pair.len(), pair));
+        let logit = self.nh_head.forward(&mut tape, &self.cross_store, x);
+        let z = tape.value(logit).scalar();
+        self.gnn_timer.add(t0.elapsed());
+        z
+    }
+
+    /// The predicted neighborhood `N̂_Q` using the optimized cluster-based
+    /// design (paper §V-B2): `M_c` scores every cluster, `M_nh` is applied
+    /// only within the best `top_clusters`.
+    pub fn predicted_neighborhood(&self, ctx: &QueryContext, use_cg: bool) -> Vec<u32> {
+        let t0 = Instant::now();
+        let mut scored: Vec<(f32, usize)> = (0..self.kmeans.k())
+            .map(|c| (self.mc_score(ctx, c), c))
+            .collect();
+        self.gnn_timer.add(t0.elapsed());
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let members = self.kmeans.members();
+        let mut out = Vec::new();
+        for &(_, c) in scored.iter().take(self.cfg.top_clusters) {
+            for &g in &members[c] {
+                if self.nh_logit(ctx, g, use_cg) > 0.0 {
+                    out.push(g);
+                }
+            }
+        }
+        out
+    }
+
+    /// The basic (cluster-free) design of §V-B1: one `M_nh` prediction per
+    /// database graph.
+    pub fn predicted_neighborhood_basic(&self, ctx: &QueryContext, use_cg: bool) -> Vec<u32> {
+        (0..self.db_embeds.len() as u32)
+            .filter(|&g| self.nh_logit(ctx, g, use_cg) > 0.0)
+            .collect()
+    }
+
+    /// `M_c`'s predicted (normalized) intersection of cluster `c` with N_Q.
+    pub fn mc_score(&self, ctx: &QueryContext, c: usize) -> f32 {
+        let centroid = &self.kmeans.centroids[c];
+        let mut input = centroid.clone();
+        input.extend_from_slice(&ctx.gin_embed);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(1, input.len(), input));
+        let out = self.mc_head.forward(&mut tape, &self.mc_store, x);
+        tape.value(out).scalar()
+    }
+
+    /// Ranker-driven batch partition of a node's neighbors (paper §IV-C).
+    ///
+    /// Inside the neighborhood (`d_node <= γ*`) each neighbor's predicted
+    /// batch is the first ranker `i` that classifies it positive
+    /// (cumulative-or repairs non-monotone heads); outside, pruning is
+    /// disabled and all neighbors form one batch.
+    pub fn rank_batches(
+        &self,
+        ctx: &QueryContext,
+        node: u32,
+        neighbors: &[u32],
+        d_node: f64,
+        use_cg: bool,
+    ) -> Vec<Vec<u32>> {
+        if neighbors.is_empty() {
+            return Vec::new();
+        }
+        if d_node > self.gamma_star {
+            return vec![neighbors.to_vec()];
+        }
+        // Each M_rk^i answers "is this neighbor in the top i·y%?". Summing
+        // the sigmoid scores gives the expected number of top-sets the
+        // neighbor belongs to — a monotone rank score that is far more
+        // robust than the heads' individual 0.5-calibration. Neighbors are
+        // sorted by that score and chunked into the y% batches of
+        // Algorithm 4, exactly like the oracle ranker but with the learned
+        // score in place of the true distance.
+        let mut scored: Vec<(f32, u32)> = Vec::with_capacity(neighbors.len());
+        for &nb in neighbors {
+            let pair = self.pair_embedding(ctx, nb, use_cg);
+            let t0 = Instant::now();
+            let feat = rk_feature(
+                &pair,
+                &self.db_embeds[node as usize],
+                &ctx.gin_embed,
+                &self.db_embeds[nb as usize],
+            );
+            let mut score = 0.0f32;
+            for head in &self.rk_heads {
+                let mut tape = Tape::new();
+                let x = tape.leaf(Matrix::from_vec(1, feat.len(), feat.clone()));
+                let logit = head.forward(&mut tape, &self.rk_store, x);
+                score += sigmoid(tape.value(logit).scalar());
+            }
+            self.gnn_timer.add(t0.elapsed());
+            scored.push((score, nb));
+        }
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let ranked: Vec<u32> = scored.into_iter().map(|(_, nb)| nb).collect();
+        lan_pg::np_route::chunk_batches(ranked, self.cfg.batch_pct)
+    }
+
+    /// `M_nh` precision/recall over the given query indices (Fig. 8).
+    pub fn nh_precision_on(&self, dataset: &Dataset, query_idx: &[usize]) -> (f64, f64) {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for &qi in query_idx {
+            let q = &dataset.queries[qi];
+            let ctx = self.query_context(q, true);
+            let pred = self.predicted_neighborhood_basic(&ctx, true);
+            let pred_set: std::collections::HashSet<u32> = pred.iter().copied().collect();
+            for g in 0..dataset.graphs.len() as u32 {
+                let truth = dataset.distance(q, g) <= self.gamma_star;
+                let predicted = pred_set.contains(&g);
+                match (truth, predicted) {
+                    (true, true) => tp += 1,
+                    (false, true) => fp += 1,
+                    (true, false) => fn_ += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        (precision, recall)
+    }
+}
+
+fn train_embedder(
+    dataset: &Dataset,
+    train_dists: &[Vec<f64>],
+    gin: &Gin,
+    store: &mut ParamStore,
+    cfg: &ModelConfig,
+    rng: &mut StdRng,
+) {
+    let schedule = StepDecay::paper();
+    let mut adam = Adam::new(schedule.initial_lr);
+    let nq = train_dists.len();
+    if nq == 0 {
+        return;
+    }
+    let ng = dataset.graphs.len();
+    for epoch in 0..cfg.epochs as u32 {
+        adam.lr = schedule.lr_at(epoch);
+        let samples = cfg.max_samples_per_epoch.min(nq * 8).max(16);
+        for _ in 0..samples {
+            let qi = rng.gen_range(0..nq);
+            let gi = rng.gen_range(0..ng);
+            let d = train_dists[qi][gi] as f32;
+            let q = &dataset.queries[dataset.split.train[qi]];
+            let g = &dataset.graphs[gi];
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let (_, eq) = gin.forward(&mut tape, store, q);
+            let (_, eg) = gin.forward(&mut tape, store, g);
+            let diff = tape.sub(eq, eg);
+            let msd = tape.mse(diff, Matrix::zeros(1, cfg.embed_dim));
+            let pred = tape.scale(msd, cfg.embed_dim as f32); // squared L2
+            let loss = tape.mse(pred, Matrix::from_vec(1, 1, vec![d]));
+            tape.backward(loss, store);
+            adam.step(store);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_nh(
+    dataset: &Dataset,
+    train_dists: &[Vec<f64>],
+    gamma_star: f64,
+    cross: &CrossGraphNet,
+    nh_head: &Mlp,
+    dist_head: &Mlp,
+    store: &mut ParamStore,
+    db_inputs: &[CrossInput],
+    gcfg: &GnnConfig,
+    cfg: &ModelConfig,
+    rng: &mut StdRng,
+) -> f32 {
+    // Build (query, graph, label, distance) samples with negative
+    // downsampling [50]. The distance target drives the auxiliary
+    // regression head: the binary in/out-of-N_Q objective alone is too
+    // coarse for the encoder the rankers reuse, so the encoder is also
+    // asked to predict the (gamma*-normalized) distance itself.
+    let mut samples: Vec<(usize, u32, f32, f32)> = Vec::new();
+    for (qi, dists) in train_dists.iter().enumerate() {
+        let positives: Vec<u32> = (0..dists.len() as u32)
+            .filter(|&g| dists[g as usize] <= gamma_star)
+            .collect();
+        let num_neg = (positives.len() * 3).max(8).min(dists.len());
+        for &g in &positives {
+            samples.push((qi, g, 1.0, dists[g as usize] as f32));
+        }
+        for _ in 0..num_neg {
+            let g = rng.gen_range(0..dists.len()) as u32;
+            if dists[g as usize] > gamma_star {
+                samples.push((qi, g, 0.0, dists[g as usize] as f32));
+            }
+        }
+    }
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let q_inputs: Vec<CrossInput> = train_dists
+        .iter()
+        .enumerate()
+        .map(|(qi, _)| CrossInput::plain(&dataset.queries[dataset.split.train[qi]], gcfg))
+        .collect();
+
+    let gs = gamma_star.max(1.0) as f32;
+    let schedule = StepDecay::paper();
+    let mut adam = Adam::new(schedule.initial_lr);
+    let mut last_loss = 0.0f32;
+    for epoch in 0..cfg.epochs as u32 {
+        adam.lr = schedule.lr_at(epoch);
+        samples.shuffle(rng);
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for &(qi, g, label, d) in samples.iter().take(cfg.max_samples_per_epoch) {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let out = cross.forward(&mut tape, store, &db_inputs[g as usize], &q_inputs[qi]);
+            let logit = nh_head.forward(&mut tape, store, out.h_pair);
+            let loss = tape.bce_with_logits(logit, label);
+            let pred_d = dist_head.forward(&mut tape, store, out.h_pair);
+            let reg = tape.mse(pred_d, Matrix::from_vec(1, 1, vec![d / gs]));
+            let reg_s = tape.scale(reg, 0.5);
+            let joint = tape.add(loss, reg_s);
+            total += tape.value(loss).scalar();
+            count += 1;
+            tape.backward(joint, store);
+            adam.step(store);
+        }
+        last_loss = total / count.max(1) as f32;
+    }
+    last_loss
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_rk(
+    dataset: &Dataset,
+    adj: &[Vec<u32>],
+    train_dists: &[Vec<f64>],
+    gamma_star: f64,
+    cross: &CrossGraphNet,
+    cross_store: &ParamStore,
+    db_inputs: &[CrossInput],
+    db_embeds: &[Vec<f32>],
+    gin: &Gin,
+    gin_store: &ParamStore,
+    rk_heads: &[Mlp],
+    rk_store: &mut ParamStore,
+    gcfg: &GnnConfig,
+    cfg: &ModelConfig,
+    rng: &mut StdRng,
+) -> f32 {
+    // Training states: (Q, G in N_Q, neighbor G') with the neighbor's rank
+    // among G's neighbors by distance to Q (paper §IV-C: the reduced
+    // training set restricted to the neighborhood of Q).
+    struct RkSample {
+        feat: Vec<f32>,
+        /// Rank position of the neighbor (0-based) and neighbor count.
+        rank: usize,
+        total: usize,
+    }
+    let mut samples: Vec<RkSample> = Vec::new();
+    let max_states_per_query = 24;
+    for (qi, dists) in train_dists.iter().enumerate() {
+        let query = &dataset.queries[dataset.split.train[qi]];
+        let q_input = CrossInput::plain(query, gcfg);
+        let q_gin = gin.embed(gin_store, query).data().to_vec();
+        let mut in_nq: Vec<u32> = (0..dists.len() as u32)
+            .filter(|&g| dists[g as usize] <= gamma_star)
+            .collect();
+        in_nq.shuffle(rng);
+        for &g in in_nq.iter().take(max_states_per_query) {
+            let neighbors = &adj[g as usize];
+            if neighbors.is_empty() {
+                continue;
+            }
+            let mut ranked: Vec<u32> = neighbors.clone();
+            ranked.sort_by(|&a, &b| {
+                dists[a as usize]
+                    .partial_cmp(&dists[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for (rank, &nb) in ranked.iter().enumerate() {
+                // Pair embedding from the frozen encoder.
+                let mut tape = Tape::new();
+                let out =
+                    cross.forward(&mut tape, cross_store, &db_inputs[nb as usize], &q_input);
+                let pair = tape.value(out.h_pair).data().to_vec();
+                let feat = rk_feature(
+                    &pair,
+                    &db_embeds[g as usize],
+                    &q_gin,
+                    &db_embeds[nb as usize],
+                );
+                samples.push(RkSample { feat, rank, total: ranked.len() });
+            }
+        }
+    }
+    if samples.is_empty() {
+        return 0.0;
+    }
+
+    let schedule = StepDecay::paper();
+    let mut last = 0.0f32;
+    // Heads are cheap (features are cached), so give them a much larger
+    // budget than the encoder.
+    let mut adam = Adam::new(schedule.initial_lr);
+    for epoch in 0..(cfg.epochs as u32 * 6) {
+        adam.lr = schedule.lr_at(epoch);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for &si in order.iter().take(cfg.max_samples_per_epoch * 4) {
+            let s = &samples[si];
+            rk_store.zero_grads();
+            for (i, head) in rk_heads.iter().enumerate() {
+                // Positive iff the neighbor is among the top (i+1)·y% ranks.
+                let top = (((i + 1) * cfg.batch_pct * s.total) as f64 / 100.0).ceil() as usize;
+                let label = if s.rank < top.max(1) { 1.0 } else { 0.0 };
+                let mut tape = Tape::new();
+                let x = tape.leaf(Matrix::from_vec(1, s.feat.len(), s.feat.clone()));
+                let logit = head.forward(&mut tape, rk_store, x);
+                let loss = tape.bce_with_logits(logit, label);
+                total += tape.value(loss).scalar();
+                count += 1;
+                tape.backward(loss, rk_store);
+            }
+            adam.step(rk_store);
+        }
+        last = total / count.max(1) as f32;
+    }
+    last
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_mc(
+    dataset: &Dataset,
+    train_dists: &[Vec<f64>],
+    gamma_star: f64,
+    kmeans: &KMeans,
+    _db_embeds: &[Vec<f32>],
+    gin: &Gin,
+    gin_store: &ParamStore,
+    mc_head: &Mlp,
+    mc_store: &mut ParamStore,
+    cfg: &ModelConfig,
+    rng: &mut StdRng,
+) {
+    let members = kmeans.members();
+    struct McSample {
+        input: Vec<f32>,
+        target: f32,
+    }
+    let mut samples: Vec<McSample> = Vec::new();
+    for (qi, dists) in train_dists.iter().enumerate() {
+        let q = &dataset.queries[dataset.split.train[qi]];
+        let qe = gin.embed(gin_store, q).data().to_vec();
+        for (c, ms) in members.iter().enumerate() {
+            if ms.is_empty() {
+                continue;
+            }
+            let inter = ms.iter().filter(|&&g| dists[g as usize] <= gamma_star).count();
+            let target = inter as f32 / ms.len() as f32;
+            let mut input = kmeans.centroids[c].clone();
+            input.extend_from_slice(&qe);
+            samples.push(McSample { input, target });
+        }
+    }
+    if samples.is_empty() {
+        return;
+    }
+    let schedule = StepDecay::paper();
+    let mut adam = Adam::new(schedule.initial_lr);
+    for epoch in 0..(cfg.epochs as u32 * 4) {
+        adam.lr = schedule.lr_at(epoch);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.shuffle(rng);
+        for &si in order.iter().take(cfg.max_samples_per_epoch) {
+            let s = &samples[si];
+            mc_store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::from_vec(1, s.input.len(), s.input.clone()));
+            let out = mc_head.forward(&mut tape, mc_store, x);
+            let loss = tape.mse(out, Matrix::from_vec(1, 1, vec![s.target]));
+            tape.backward(loss, mc_store);
+            adam.step(mc_store);
+        }
+    }
+}

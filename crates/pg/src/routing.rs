@@ -1,0 +1,256 @@
+//! Baseline greedy (beam) routing on the proximity graph — paper
+//! Algorithm 1.
+//!
+//! At each step the router explores the unexplored pooled node closest to
+//! the query, computes distances for **all** of its neighbors (this is the
+//! exhaustive neighbor exploration whose NDC LAN attacks), adds them to the
+//! pool, and resizes the pool to the beam size `b`. The routing stops when
+//! every pooled node is explored; the top-`k` of the pool are the k-ANNs.
+
+use crate::metric::DistCache;
+use crate::pool::{Pool, PoolEntry, RouterState};
+
+/// The outcome of one routed query.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// `(distance, id)` of the k best candidates, ascending.
+    pub results: Vec<(f64, u32)>,
+    /// Number of unique distance computations (NDC).
+    pub ndc: usize,
+    /// Nodes in exploration order (for the Lemma 1 equivalence tests).
+    pub exploration_order: Vec<u32>,
+}
+
+impl RouteResult {
+    /// Just the result ids.
+    pub fn ids(&self) -> Vec<u32> {
+        self.results.iter().map(|&(_, id)| id).collect()
+    }
+}
+
+/// Algorithm 1: beam search over the base-layer adjacency `adj` from the
+/// given entry nodes.
+pub fn beam_search(
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    entries: &[u32],
+    b: usize,
+    k: usize,
+) -> RouteResult {
+    assert!(b >= 1, "beam size must be at least 1");
+    let mut w = Pool::new();
+    let mut state = RouterState::new();
+    for &e in entries {
+        w.add(e, cache.get(e));
+    }
+
+    while let Some(PoolEntry { id: g, .. }) = w.min_unexplored(&state) {
+        for &nb in &adj[g as usize] {
+            w.add(nb, cache.get(nb));
+        }
+        state.mark_explored(g);
+        w.resize(b, &state);
+    }
+
+    RouteResult {
+        results: w.top_k(k).into_iter().map(|e| (e.dist, e.id)).collect(),
+        ndc: cache.ndc(),
+        exploration_order: state.order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::DistCache;
+
+    /// A path PG 0-1-2-3-4 with the query nearest node 4.
+    fn path_adj() -> Vec<Vec<u32>> {
+        vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]]
+    }
+
+    #[test]
+    fn routes_along_path_to_optimum() {
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0], 2, 1);
+        assert_eq!(r.results[0], (0.0, 4));
+        // Every node on the way gets its distance computed.
+        assert_eq!(r.ndc, 5);
+    }
+
+    #[test]
+    fn beam_one_can_get_stuck_at_local_optimum() {
+        // Distances with a valley at node 1 and the true optimum at node 4,
+        // but a hill at 2 — with b = 1 the pool forgets the bridge.
+        let adj = path_adj();
+        let d = [3.0, 1.0, 5.0, 4.0, 0.0];
+        let dist = |id: u32| d[id as usize];
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0], 1, 1);
+        assert_eq!(r.results[0].1, 1, "b=1 should stop at the local optimum");
+        // A wider beam escapes.
+        let cache2 = DistCache::new(&dist);
+        let r2 = beam_search(&adj, &cache2, &[0], 3, 1);
+        assert_eq!(r2.results[0].1, 4);
+    }
+
+    #[test]
+    fn k_results_sorted() {
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0], 5, 3);
+        assert_eq!(r.ids(), vec![4, 3, 2]);
+        assert!(r.results.windows(2).all(|p| p[0].0 <= p[1].0));
+    }
+
+    #[test]
+    fn multiple_entries() {
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0, 4], 2, 1);
+        assert_eq!(r.results[0].1, 4);
+    }
+
+    #[test]
+    fn exploration_order_starts_at_entry() {
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0], 2, 1);
+        assert_eq!(r.exploration_order[0], 0);
+        assert_eq!(*r.exploration_order.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn isolated_entry_terminates() {
+        let adj = vec![vec![]];
+        let dist = |_: u32| 7.0;
+        let cache = DistCache::new(&dist);
+        let r = beam_search(&adj, &cache, &[0], 2, 1);
+        assert_eq!(r.results, vec![(7.0, 0)]);
+    }
+}
+
+/// Approximate range search (the query class of GHashing [9], supported
+/// here on the proximity graph): returns every discovered node within
+/// distance `tau` of the query, ascending.
+///
+/// The router exhaustively explores any discovered node with
+/// `d <= tau + eps` (the `eps` margin lets the walk cross thin gaps just
+/// outside the ball); like all PG searches it is approximate — a cluster
+/// reachable only through far intermediates can be missed.
+pub fn range_search(
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    entries: &[u32],
+    tau: f64,
+    eps: f64,
+) -> Vec<(f64, u32)> {
+    use std::collections::HashSet;
+    let mut discovered: HashSet<u32> = HashSet::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    // Stage 1: greedy descent from each entry toward the ball — the entry
+    // itself may start far outside it.
+    for &e in entries {
+        let mut cur = e;
+        let mut cur_d = cache.get(cur);
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &nb in &adj[cur as usize] {
+                let d = cache.get(nb);
+                if d < best_d || (d == best_d && nb < best) {
+                    best = nb;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                break;
+            }
+            cur = best;
+            cur_d = best_d;
+        }
+        if discovered.insert(cur) {
+            frontier.push(cur);
+        }
+    }
+    // Stage 2: exhaustive expansion within the (eps-padded) ball.
+    let mut explored: HashSet<u32> = HashSet::new();
+    while let Some(&g) = frontier
+        .iter()
+        .filter(|&&g| !explored.contains(&g) && cache.get(g) <= tau + eps)
+        .min_by(|&&a, &&b| {
+            cache
+                .get(a)
+                .partial_cmp(&cache.get(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        })
+    {
+        explored.insert(g);
+        for &nb in &adj[g as usize] {
+            if discovered.insert(nb) {
+                cache.get(nb);
+                frontier.push(nb);
+            }
+        }
+    }
+    let mut hits: Vec<(f64, u32)> = discovered
+        .into_iter()
+        .filter_map(|g| {
+            let d = cache.get(g);
+            (d <= tau).then_some((d, g))
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    hits
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use crate::metric::DistCache;
+
+    #[test]
+    fn range_search_collects_ball() {
+        // Path 0-1-2-3-4 with distances 4,3,2,1,0: tau = 2 collects {2,3,4}.
+        let adj: Vec<Vec<u32>> =
+            vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
+        let f = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&f);
+        let hits = range_search(&adj, &cache, &[0], 2.0, 1.0);
+        let ids: Vec<u32> = hits.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn range_search_empty_ball() {
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![0]];
+        let f = |id: u32| 10.0 + id as f64;
+        let cache = DistCache::new(&f);
+        let hits = range_search(&adj, &cache, &[0], 2.0, 1.0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn eps_bridges_gaps() {
+        // 0(3) - 1(4) - 2(1): tau = 3 needs eps >= 1 to cross node 1.
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![0, 2], vec![1]];
+        let d = [3.0, 4.0, 1.0];
+        let f = |id: u32| d[id as usize];
+        let c1 = DistCache::new(&f);
+        let no_eps = range_search(&adj, &c1, &[0], 3.0, 0.0);
+        assert_eq!(no_eps.len(), 1, "without eps the walk stops at node 1");
+        let c2 = DistCache::new(&f);
+        let with_eps = range_search(&adj, &c2, &[0], 3.0, 1.0);
+        assert_eq!(with_eps.len(), 2, "eps lets the walk cross node 1");
+    }
+}

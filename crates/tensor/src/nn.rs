@@ -1,0 +1,175 @@
+//! Neural-network building blocks: linear layers and MLPs.
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+use crate::tape::{Tape, Var};
+use rand::Rng;
+
+/// A fully connected layer `y = x W + b` with `W: in × out`, `b: 1 × out`
+/// broadcast over rows via an explicit ones-column product (keeps the op set
+/// minimal).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: usize,
+    pub b: usize,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized layer in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        store: &mut ParamStore,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(Matrix::xavier(rng, in_dim, out_dim));
+        let b = store.add(Matrix::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Records the forward pass for an `n × in_dim` input.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let n = tape.value(x).rows();
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        if n == 1 {
+            tape.add(xw, b)
+        } else {
+            // Broadcast the bias: ones (n×1) @ b (1×out).
+            let ones = tape.leaf(Matrix::ones(n, 1));
+            let bb = tape.matmul(ones, b);
+            tape.add(xw, bb)
+        }
+    }
+}
+
+/// Multi-layer perceptron with ReLU between layers and a linear head.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[in, hidden, out]`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, store: &mut ParamStore, dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(rng, store, w[0], w[1]))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Records the forward pass (ReLU after every layer except the last).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i + 1 < self.layers.len() {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut rng, &mut store, 4, 3);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(5, 4));
+        let y = lin.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn bias_broadcast_rows_equal_on_equal_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut rng, &mut store, 3, 2);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::ones(4, 3));
+        let y = lin.forward(&mut t, &store, x);
+        let v = t.value(y);
+        for i in 1..4 {
+            assert_eq!(v.row(i), v.row(0));
+        }
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_separation() {
+        // Tiny sanity check that the full train loop (tape + params + Adam)
+        // reduces loss on a nonlinear problem.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut rng, &mut store, &[2, 8, 1]);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut adam = Adam::new(0.05);
+        let loss_at = |store: &ParamStore, mlp: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, y)| {
+                    let mut t = Tape::new();
+                    let xv = t.leaf(Matrix::from_vec(1, 2, x.to_vec()));
+                    let logit = mlp.forward(&mut t, store, xv);
+                    let l = t.bce_with_logits(logit, *y);
+                    t.value(l).scalar()
+                })
+                .sum::<f32>()
+                / 4.0
+        };
+        let initial = loss_at(&store, &mlp);
+        for _ in 0..300 {
+            store.zero_grads();
+            for (x, y) in &data {
+                let mut t = Tape::new();
+                let xv = t.leaf(Matrix::from_vec(1, 2, x.to_vec()));
+                let logit = mlp.forward(&mut t, &store, xv);
+                let l = t.bce_with_logits(logit, *y);
+                t.backward(l, &mut store);
+            }
+            adam.step(&mut store);
+        }
+        let trained = loss_at(&store, &mlp);
+        assert!(
+            trained < initial * 0.3,
+            "XOR training failed: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn mlp_dims() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut rng, &mut store, &[6, 4, 2]);
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(store.len(), 4); // 2 layers x (W, b)
+    }
+}

@@ -1,0 +1,112 @@
+//! Optimizers: Adam with the paper's step-decay learning-rate schedule.
+
+use crate::param::ParamStore;
+
+/// Adam (Kingma & Ba) with bias correction.
+///
+/// The paper's training setup: initial learning rate 0.005, decayed by 0.96
+/// every 5 epochs — see [`StepDecay`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with default betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Applies one update from the accumulated gradients, then leaves the
+    /// gradients untouched (callers zero them per round).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for id in 0..store.len() {
+            let p = store.param_mut(id);
+            let n = p.value.data().len();
+            for i in 0..n {
+                let g = p.grad.data()[i];
+                let m = self.beta1 * p.m.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * p.v.data()[i] + (1.0 - self.beta2) * g * g;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let mhat = m / b1t;
+                let vhat = v / b2t;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Step-decay schedule: multiply the learning rate by `factor` every
+/// `every_epochs` epochs (paper: 0.96 every 5 epochs from 0.005).
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    pub initial_lr: f32,
+    pub factor: f32,
+    pub every_epochs: u32,
+}
+
+impl StepDecay {
+    /// The paper's schedule.
+    pub fn paper() -> Self {
+        StepDecay { initial_lr: 0.005, factor: 0.96, every_epochs: 5 }
+    }
+
+    /// Learning rate at the given 0-based epoch.
+    pub fn lr_at(&self, epoch: u32) -> f32 {
+        self.initial_lr * self.factor.powi((epoch / self.every_epochs) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::tape::Tape;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let pid = store.add(Matrix::from_vec(1, 2, vec![5.0, -3.0]));
+        let target = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let p = t.param(&store, pid);
+            let l = t.mse(p, target.clone());
+            t.backward(l, &mut store);
+            adam.step(&mut store);
+        }
+        assert!(store.value(pid).max_abs_diff(&target) < 1e-2);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::paper();
+        assert_eq!(s.lr_at(0), 0.005);
+        assert_eq!(s.lr_at(4), 0.005);
+        assert!((s.lr_at(5) - 0.005 * 0.96).abs() < 1e-9);
+        assert!((s.lr_at(10) - 0.005 * 0.96 * 0.96).abs() < 1e-9);
+        // Monotone non-increasing.
+        let mut prev = f32::INFINITY;
+        for e in 0..50 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+    }
+}

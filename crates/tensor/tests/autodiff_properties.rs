@@ -1,0 +1,166 @@
+//! Property tests for the autodiff substrate: randomized finite-difference
+//! checks over composite expressions and optimizer behavior.
+
+use lan_tensor::{Adam, Matrix, Mlp, ParamStore, Tape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Numeric/analytic gradient comparison for a scalar-valued builder.
+fn check(build: &dyn Fn(&mut Tape, &ParamStore) -> usize, init: Matrix, tol: f32) {
+    let mut store = ParamStore::new();
+    let pid = store.add(init);
+    let mut tape = Tape::new();
+    let root = build(&mut tape, &store);
+    store.zero_grads();
+    tape.backward(root, &mut store);
+    let analytic = store.grad(pid).clone();
+
+    let eps = 1e-2f32;
+    let (r, c) = store.value(pid).shape();
+    for i in 0..r {
+        for j in 0..c {
+            let orig = store.value(pid).get(i, j);
+            store.value_mut(pid).set(i, j, orig + eps);
+            let mut t1 = Tape::new();
+            let v1 = build(&mut t1, &store);
+            let f1 = t1.value(v1).scalar();
+            store.value_mut(pid).set(i, j, orig - eps);
+            let mut t2 = Tape::new();
+            let v2 = build(&mut t2, &store);
+            let f2 = t2.value(v2).scalar();
+            store.value_mut(pid).set(i, j, orig);
+            let numeric = (f1 - f2) / (2.0 * eps);
+            let a = analytic.get(i, j);
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at ({i},{j}): analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A randomized composite: matmul → rank1 attention → weighted softmax →
+    /// matmul → relu → weighted mean → mse, checked against finite
+    /// differences (this is the exact op chain of the cross-graph layer).
+    #[test]
+    fn composite_cross_layer_gradients(seed in any::<u64>(), n in 2usize..5, m in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 3usize;
+        let other = rand_matrix(&mut rng, m, d);
+        let a1 = rand_matrix(&mut rng, d, 1);
+        let a2 = rand_matrix(&mut rng, d, 1);
+        let w: Vec<f32> = (0..m).map(|_| rng.gen_range(0.5..3.0)).collect();
+        let rows: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let init = rand_matrix(&mut rng, n, d);
+        let build = move |t: &mut Tape, s: &ParamStore| -> usize {
+            let p = t.param(s, 0); // n x d: plays T_g
+            let o = t.leaf(other.clone()); // m x d: plays T_q
+            let a1l = t.leaf(a1.clone());
+            let a2l = t.leaf(a2.clone());
+            let col = t.matmul(p, a1l); // n x 1
+            let r0 = t.matmul(o, a2l); // m x 1
+            let row = t.transpose(r0); // 1 x m
+            let scores = t.rank1_add(col, row); // n x m
+            let att = t.weighted_row_softmax(scores, w.clone());
+            let mu = t.matmul(att, o); // n x d
+            let z = t.add(p, mu);
+            let zr = t.relu(z);
+            let pooled = t.weighted_mean_rows(zr, rows.clone()); // 1 x d
+            t.mse(pooled, Matrix::zeros(1, d))
+        };
+        check(&build, init, 0.08);
+    }
+
+    /// MLP + BCE gradients for arbitrary widths, checked on every MLP
+    /// parameter by finite differences.
+    #[test]
+    fn mlp_bce_gradients(seed in any::<u64>(), hidden in 2usize..6, target in 0u8..2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut rng, &mut store, &[3, hidden, 1]);
+        let x = rand_matrix(&mut rng, 1, 3);
+        let target = target as f32;
+        let forward = |store: &ParamStore| -> (Tape, usize) {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let logit = mlp.forward(&mut t, store, xv);
+            let l = t.bce_with_logits(logit, target);
+            (t, l)
+        };
+        let (tape, root) = forward(&store);
+        store.zero_grads();
+        tape.backward(root, &mut store);
+        let analytic: Vec<Matrix> =
+            (0..store.len()).map(|i| store.grad(i).clone()).collect();
+        let eps = 1e-2f32;
+        for pid in 0..store.len() {
+            let (r, c) = store.value(pid).shape();
+            for i in 0..r {
+                for j in 0..c {
+                    let orig = store.value(pid).get(i, j);
+                    store.value_mut(pid).set(i, j, orig + eps);
+                    let (t1, v1) = forward(&store);
+                    let f1 = t1.value(v1).scalar();
+                    store.value_mut(pid).set(i, j, orig - eps);
+                    let (t2, v2) = forward(&store);
+                    let f2 = t2.value(v2).scalar();
+                    store.value_mut(pid).set(i, j, orig);
+                    let numeric = (f1 - f2) / (2.0 * eps);
+                    let a = analytic[pid].get(i, j);
+                    prop_assert!(
+                        (a - numeric).abs() <= 0.08 * (1.0 + numeric.abs()),
+                        "param {} ({},{}): analytic {} vs numeric {}",
+                        pid, i, j, a, numeric
+                    );
+                }
+            }
+        }
+    }
+
+    /// Adam converges to arbitrary targets from arbitrary starts.
+    #[test]
+    fn adam_converges(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = rand_matrix(&mut rng, 1, 3).scale(3.0);
+        let start = rand_matrix(&mut rng, 1, 3).scale(5.0);
+        let mut store = ParamStore::new();
+        let pid = store.add(start);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut t = Tape::new();
+            let p = t.param(&store, pid);
+            let l = t.mse(p, target.clone());
+            t.backward(l, &mut store);
+            adam.step(&mut store);
+        }
+        prop_assert!(store.value(pid).max_abs_diff(&target) < 0.05);
+    }
+
+    /// Softmax invariances: rows sum to one; shifting a row by a constant
+    /// leaves the distribution unchanged.
+    #[test]
+    fn softmax_invariances(seed in any::<u64>(), shift in -5.0f32..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = rand_matrix(&mut rng, 3, 4);
+        let w: Vec<f32> = (0..4).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let y1 = t.weighted_row_softmax(xv, w.clone());
+        let xs = t.leaf(x.map(|v| v + shift));
+        let y2 = t.weighted_row_softmax(xs, w);
+        for i in 0..3 {
+            let s: f32 = t.value(y1).row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+        }
+        prop_assert!(t.value(y1).max_abs_diff(t.value(y2)) < 1e-5);
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the LAN workspace members.
+//!
+//! Most users should depend on [`lan_core`] directly; this crate exists to
+//! host the runnable examples in `examples/` and the cross-crate integration
+//! tests in `tests/`.
+
+pub use lan_core as core;
+pub use lan_datasets as datasets;
+pub use lan_ged as ged;
+pub use lan_gnn as gnn;
+pub use lan_graph as graph;
+pub use lan_models as models;
+pub use lan_pg as pg;
+pub use lan_tensor as tensor;
