@@ -35,7 +35,9 @@ fn bench_ged(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("vj", n), &ps, |b, ps| {
             b.iter(|| {
-                ps.iter().map(|(g1, g2)| bipartite_ged(g1, g2, Solver::Vj)).sum::<f64>()
+                ps.iter()
+                    .map(|(g1, g2)| bipartite_ged(g1, g2, Solver::Vj))
+                    .sum::<f64>()
             })
         });
         group.bench_with_input(BenchmarkId::new("beam8", n), &ps, |b, ps| {
@@ -48,7 +50,9 @@ fn bench_ged(c: &mut Criterion) {
         b.iter(|| {
             tiny.iter()
                 .map(|(g1, g2)| {
-                    exact_ged(g1, g2, &ExactLimits::default()).distance().unwrap_or(0.0)
+                    exact_ged(g1, g2, &ExactLimits::default())
+                        .distance()
+                        .unwrap_or(0.0)
                 })
                 .sum::<f64>()
         })

@@ -24,20 +24,31 @@ fn main() {
 
         println!("\n=== Fig 10 ({name}): LAN with vs without CG acceleration ===");
         let with_cg = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN(CG)", &with_cg);
         let without = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
         );
         print_curve("LAN(plain)", &without);
 
         for target in [0.9, 0.95] {
-            if let (Some(a), Some(p)) =
-                (qps_at_recall(&with_cg, target), qps_at_recall(&without, target))
-            {
+            if let (Some(a), Some(p)) = (
+                qps_at_recall(&with_cg, target),
+                qps_at_recall(&without, target),
+            ) {
                 println!(
                     "[{name}] @recall={target}: CG acceleration QPS gain = {:+.1}%",
                     (a / p - 1.0) * 100.0

@@ -26,8 +26,13 @@ fn main() {
         let test_q = index.dataset.split.test.clone();
         let truths = harness::ground_truths(&index, &test_q, k);
         let (_, breakdown) = harness::run_point(
-            &index, &test_q, &truths, k, b,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            b,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
         );
         let n = test_q.len() as f64;
         println!(

@@ -38,8 +38,11 @@ fn main() {
         let net = CrossGraphNet::new(&mut rng, &mut store, cfg.clone());
 
         // Precompute inputs (CGs are precomputed for data graphs, §VI-C).
-        let plain_inputs: Vec<CrossInput> =
-            ds.graphs.iter().map(|g| CrossInput::plain(g, &cfg)).collect();
+        let plain_inputs: Vec<CrossInput> = ds
+            .graphs
+            .iter()
+            .map(|g| CrossInput::plain(g, &cfg))
+            .collect();
         let cg_inputs: Vec<CrossInput> = ds
             .graphs
             .iter()
@@ -51,7 +54,12 @@ fn main() {
         let t0 = Instant::now();
         for i in 0..pairs {
             let mut tape = Tape::new();
-            let _ = net.forward(&mut tape, &store, &plain_inputs[2 * i], &plain_inputs[2 * i + 1]);
+            let _ = net.forward(
+                &mut tape,
+                &store,
+                &plain_inputs[2 * i],
+                &plain_inputs[2 * i + 1],
+            );
             plain_flops += tape.flops();
         }
         let t_plain = t0.elapsed();
@@ -79,7 +87,12 @@ fn main() {
                 hag_adds += plan.planned_adds();
             }
             let mut tape = Tape::new();
-            let _ = net.forward(&mut tape, &store, &plain_inputs[2 * i], &plain_inputs[2 * i + 1]);
+            let _ = net.forward(
+                &mut tape,
+                &store,
+                &plain_inputs[2 * i],
+                &plain_inputs[2 * i + 1],
+            );
         }
         let t_hag = t0.elapsed();
         // HAG's best case: subtract the saved additions from the plain time

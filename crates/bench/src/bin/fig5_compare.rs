@@ -19,24 +19,39 @@ fn main() {
         let name = spec.name;
         let index = build_index(spec, scale);
         let test_q = index.dataset.split.test.clone();
-        eprintln!("[{name}] computing ground truth for {} test queries...", test_q.len());
+        eprintln!(
+            "[{name}] computing ground truth for {} test queries...",
+            test_q.len()
+        );
         let truths = harness::ground_truths(&index, &test_q, k);
 
         println!("\n=== Fig 5 ({name}): recall@{k} vs QPS ===");
         let lan = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN", &lan);
         let hnsw = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::HnswRoute,
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::HnswRoute,
         );
         print_curve("HNSW", &hnsw);
         let l2 = L2RouteIndex::build(&index, 6);
         let n = index.dataset.graphs.len();
-        let cands: Vec<usize> =
-            [8usize, 16, 32, 64, 128, 256].iter().map(|&c| (c * k / 20).min(n)).collect();
+        let cands: Vec<usize> = [8usize, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&c| (c * k / 20).min(n))
+            .collect();
         let l2curve = harness::l2route_curve(&index, &l2, &test_q, &truths, k, &cands);
         print_curve("L2route", &l2curve);
 
@@ -46,7 +61,9 @@ fn main() {
             let q_l2 = qps_at_recall(&l2curve, target);
             match (q_lan, q_hnsw, q_l2) {
                 (Some(a), Some(h), l2q) => {
-                    let l2s = l2q.map(|x| format!("{:.1}x", a / x)).unwrap_or("n/a".into());
+                    let l2s = l2q
+                        .map(|x| format!("{:.1}x", a / x))
+                        .unwrap_or("n/a".into());
                     println!(
                         "[{name}] @recall={target}: LAN/HNSW = {:.1}x, LAN/L2route = {l2s}",
                         a / h

@@ -23,25 +23,42 @@ fn main() {
 
         println!("\n=== Fig 6 ({name}): routing comparison (HNSW_IS fixed) ===");
         let lan_route = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN_Route", &lan_route);
         let hnsw_route = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::HnswRoute,
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::HnswRoute,
         );
         print_curve("HNSW_Route", &hnsw_route);
 
         for target in [0.9, 0.95] {
-            if let (Some(a), Some(h)) =
-                (qps_at_recall(&lan_route, target), qps_at_recall(&hnsw_route, target))
-            {
-                println!("[{name}] @recall={target}: LAN_Route/HNSW_Route = {:.1}x", a / h);
+            if let (Some(a), Some(h)) = (
+                qps_at_recall(&lan_route, target),
+                qps_at_recall(&hnsw_route, target),
+            ) {
+                println!(
+                    "[{name}] @recall={target}: LAN_Route/HNSW_Route = {:.1}x",
+                    a / h
+                );
             }
         }
         // NDC view (the paper's mechanism): average NDC at the largest beam.
         let (l, h) = (lan_route.last().unwrap(), hnsw_route.last().unwrap());
-        println!("[{name}] NDC at b={}: LAN_Route {:.1} vs HNSW_Route {:.1}", l.param, l.avg_ndc, h.avg_ndc);
+        println!(
+            "[{name}] NDC at b={}: LAN_Route {:.1} vs HNSW_Route {:.1}",
+            l.param, l.avg_ndc, h.avg_ndc
+        );
     }
 }

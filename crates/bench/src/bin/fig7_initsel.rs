@@ -36,8 +36,10 @@ fn main() {
         });
 
         for target in [0.9, 0.95] {
-            let qs: Vec<Option<f64>> =
-                curves.iter().map(|(_, c)| qps_at_recall(c, target)).collect();
+            let qs: Vec<Option<f64>> = curves
+                .iter()
+                .map(|(_, c)| qps_at_recall(c, target))
+                .collect();
             if let (Some(lan), Some(hnsw), Some(rand)) = (qs[0], qs[1], qs[2]) {
                 println!(
                     "[{name}] @recall={target}: LAN_IS/HNSW_IS = {:.2}x, LAN_IS/Rand_IS = {:.2}x",

@@ -17,14 +17,16 @@ fn main() {
     println!("{:<10} {:>10} {:>10}", "Dataset", "precision", "recall");
     for spec in all_specs() {
         let index = build_index(spec, scale);
-        let (precision, recall) =
-            index.models.nh_precision_on(&index.dataset, &index.dataset.split.test);
-        println!("{:<10} {:>10.3} {:>10.3}", index.dataset.spec.name, precision, recall);
+        let (precision, recall) = index
+            .models
+            .nh_precision_on(&index.dataset, &index.dataset.split.test);
+        println!(
+            "{:<10} {:>10.3} {:>10.3}",
+            index.dataset.spec.name, precision, recall
+        );
         // Lemma 2: P(at least one of s samples in N_Q) = 1 - (1 - p)^s.
         let s = index.cfg.model.init_samples as i32;
         let hit = 1.0 - (1.0 - precision).powi(s);
-        println!(
-            "           Lemma 2 with s = {s}: P(sample hits N_Q) = {hit:.4}"
-        );
+        println!("           Lemma 2 with s = {s}: P(sample hits N_Q) = {hit:.4}");
     }
 }

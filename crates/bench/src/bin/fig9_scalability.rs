@@ -9,7 +9,7 @@
 //! cargo run --release -p lan-bench --bin fig9_scalability
 //! ```
 
-use lan_bench::{bench_lan_config, beam_sweep, k_for, sized_spec, Scale};
+use lan_bench::{beam_sweep, bench_lan_config, k_for, sized_spec, Scale};
 use lan_core::{harness, InitStrategy, LanIndex, RouteStrategy};
 use lan_datasets::{Dataset, DatasetSpec};
 
@@ -22,7 +22,10 @@ fn main() {
 
     // Build one index per shard of 20% once; a p% database uses the first
     // p/20 shards (the paper's sequential sub-database evaluation).
-    eprintln!("building {} shard indexes of {} graphs each...", 5, shard_size);
+    eprintln!(
+        "building {} shard indexes of {} graphs each...",
+        5, shard_size
+    );
     let shards: Vec<LanIndex> = (0..5)
         .map(|i| {
             let spec = DatasetSpec::syn()
@@ -38,8 +41,13 @@ fn main() {
     let truths = harness::ground_truths(&shards[0], &test_q, k);
     let beams = beam_sweep(scale);
     let curve = harness::recall_qps_curve(
-        &shards[0], &test_q, &truths, k, &beams,
-        InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true },
+        &shards[0],
+        &test_q,
+        &truths,
+        k,
+        &beams,
+        InitStrategy::LanIs,
+        RouteStrategy::LanRoute { use_cg: true },
     );
     let beam_for = |target: f64| -> usize {
         curve
@@ -50,7 +58,10 @@ fn main() {
     };
 
     println!("\nFig 9: SYN scalability (avg query time in ms, k = {k})");
-    println!("{:<8} {:>12} {:>12} {:>12}", "scale", "recall 0.90", "recall 0.95", "recall 0.98");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "scale", "recall 0.90", "recall 0.95", "recall 0.98"
+    );
     for used in 1..=5usize {
         let mut row = format!("{:<8}", format!("{}%", used * 20));
         for &target in &recalls {
@@ -63,7 +74,9 @@ fn main() {
                 let q = shards[0].dataset.queries[qi].clone();
                 for shard in &shards[..used] {
                     let out = shard.search_with(
-                        &q, k, b,
+                        &q,
+                        k,
+                        b,
                         InitStrategy::LanIs,
                         RouteStrategy::LanRoute { use_cg: true },
                         qi as u64,

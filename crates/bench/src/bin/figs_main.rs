@@ -26,23 +26,36 @@ fn main() {
         // --- Fig 5: LAN vs HNSW vs L2route. ---
         println!("\n=== Fig 5 ({name}): recall@{k} vs QPS ===");
         let lan = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN", &lan);
         let hnsw = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::HnswRoute,
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::HnswRoute,
         );
         print_curve("HNSW", &hnsw);
         let l2 = L2RouteIndex::build(&index, 6);
         let n = index.dataset.graphs.len();
-        let cands: Vec<usize> =
-            [2usize, 4, 8, 16, 32, 64].iter().map(|&c| (c * k / 4).min(n)).collect();
+        let cands: Vec<usize> = [2usize, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&c| (c * k / 4).min(n))
+            .collect();
         let l2curve = harness::l2route_curve(&index, &l2, &test_q, &truths, k, &cands);
         print_curve("L2route", &l2curve);
         for target in [0.9, 0.95] {
-            if let (Some(a), Some(h)) = (qps_at_recall(&lan, target), qps_at_recall(&hnsw, target)) {
+            if let (Some(a), Some(h)) = (qps_at_recall(&lan, target), qps_at_recall(&hnsw, target))
+            {
                 let l2s = qps_at_recall(&l2curve, target)
                     .map(|x| format!("{:.1}x", a / x))
                     .unwrap_or("n/a (never reached)".into());
@@ -56,16 +69,25 @@ fn main() {
         // --- Fig 6: LAN_Route vs HNSW_Route under HNSW_IS. ---
         println!("\n=== Fig 6 ({name}): routing (HNSW_IS fixed) ===");
         let lan_route = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN_Route", &lan_route);
         print_curve("HNSW_Route", &hnsw);
         for target in [0.9, 0.95] {
-            if let (Some(a), Some(h)) =
-                (qps_at_recall(&lan_route, target), qps_at_recall(&hnsw, target))
-            {
-                println!("[{name}] Fig6 @recall={target}: LAN_Route/HNSW_Route = {:.2}x", a / h);
+            if let (Some(a), Some(h)) = (
+                qps_at_recall(&lan_route, target),
+                qps_at_recall(&hnsw, target),
+            ) {
+                println!(
+                    "[{name}] Fig6 @recall={target}: LAN_Route/HNSW_Route = {:.2}x",
+                    a / h
+                );
             }
         }
         let (l, h) = (lan_route.last().unwrap(), hnsw.last().unwrap());
@@ -77,12 +99,22 @@ fn main() {
         // --- Fig 7: initial selection under LAN_Route. ---
         println!("\n=== Fig 7 ({name}): initial selection (LAN_Route fixed) ===");
         let hnsw_is = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::HnswIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::HnswIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         let rand_is = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::RandIs, RouteStrategy::LanRoute { use_cg: true },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::RandIs,
+            RouteStrategy::LanRoute { use_cg: true },
         );
         print_curve("LAN_IS", &lan);
         print_curve("HNSW_IS", &hnsw_is);
@@ -104,8 +136,13 @@ fn main() {
         // --- Fig 10: CG on vs off. ---
         println!("\n=== Fig 10 ({name}): CG acceleration ===");
         let plain = harness::recall_qps_curve(
-            &index, &test_q, &truths, k, &beams,
-            InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false },
+            &index,
+            &test_q,
+            &truths,
+            k,
+            &beams,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
         );
         print_curve("LAN(CG)", &lan);
         print_curve("LAN(plain)", &plain);

@@ -1,0 +1,188 @@
+//! Sequential vs parallel throughput of the LAN query pipeline, written to
+//! `results/BENCH_parallel.json`.
+//!
+//! Three configurations run the same test workload over the same sharded
+//! index and must return identical recall and NDC (the determinism contract
+//! of the parallel layer, property-tested in
+//! `crates/core/tests/parallel_equivalence.rs`):
+//!
+//! 1. `sequential` — queries one after another, shards visited in order;
+//! 2. `parallel_shards` — each query fans its shards out in parallel;
+//! 3. `parallel_queries` — the query batch itself runs in parallel
+//!    (shards sequential within each query).
+//!
+//! The worker count defaults to the host's parallelism; `LAN_THREADS`
+//! overrides it. On a single-core host the speedup is honestly ~1×, and
+//! the JSON records `host_threads` so readers can tell.
+//!
+//! ```text
+//! cargo run --release -p lan-bench --bin throughput
+//! ```
+
+use lan_bench::{bench_lan_config, k_for, sized_spec, Scale};
+use lan_core::{InitStrategy, RouteStrategy, ShardedLanIndex};
+use lan_datasets::{Dataset, DatasetSpec};
+use lan_graph::Graph;
+use std::time::Instant;
+
+struct RunStats {
+    wall_s: f64,
+    qps: f64,
+    avg_ndc: f64,
+    avg_recall: f64,
+}
+
+fn run_batch(
+    label: &str,
+    queries: &[(usize, Graph)],
+    truth_kth: &[f64],
+    k: usize,
+    search: impl Fn(&Graph, u64) -> lan_core::QueryOutcome + Sync,
+    parallel_queries: bool,
+) -> RunStats {
+    let t0 = Instant::now();
+    let outs: Vec<lan_core::QueryOutcome> = if parallel_queries {
+        lan_par::par_map(queries, |(qi, q)| search(q, *qi as u64))
+    } else {
+        queries
+            .iter()
+            .map(|(qi, q)| search(q, *qi as u64))
+            .collect()
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let n = queries.len() as f64;
+    let ndc: usize = outs.iter().map(|o| o.ndc).sum();
+    let recall: f64 = outs
+        .iter()
+        .zip(truth_kth)
+        .map(|(o, &kth)| lan_datasets::recall_at_k_ties(&o.results, kth, k))
+        .sum::<f64>()
+        / n;
+    let stats = RunStats {
+        wall_s: wall,
+        qps: n / wall.max(1e-12),
+        avg_ndc: ndc as f64 / n,
+        avg_recall: recall,
+    };
+    eprintln!(
+        "  {label:<18} wall {:>7.3}s  QPS {:>8.2}  avg NDC {:>8.1}  recall {:.3}",
+        stats.wall_s, stats.qps, stats.avg_ndc, stats.avg_recall
+    );
+    stats
+}
+
+fn json_stats(s: &RunStats) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"qps\": {:.3}, \"avg_ndc\": {:.2}, \"avg_recall\": {:.4}}}",
+        s.wall_s, s.qps, s.avg_ndc, s.avg_recall
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let k = k_for(scale);
+    let b = 2 * k;
+    let num_shards = 4usize;
+
+    let spec = sized_spec(DatasetSpec::syn(), scale);
+    eprintln!(
+        "generating {} graphs / {} queries...",
+        spec.num_graphs, spec.num_queries
+    );
+    let dataset = Dataset::generate(spec);
+    eprintln!("building {num_shards}-shard index (parallel across shards)...");
+    let t0 = Instant::now();
+    let sharded = ShardedLanIndex::build(&dataset, &bench_lan_config(scale), num_shards);
+    let build_s = t0.elapsed().as_secs_f64();
+    eprintln!("index ready in {build_s:.1}s");
+
+    let queries: Vec<(usize, Graph)> = dataset
+        .split
+        .test
+        .iter()
+        .map(|&qi| (qi, dataset.queries[qi].clone()))
+        .collect();
+    let truth_kth: Vec<f64> = queries
+        .iter()
+        .map(|(_, q)| {
+            dataset
+                .ground_truth_knn(q, k)
+                .last()
+                .map(|&(d, _)| d)
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+
+    let init = InitStrategy::LanIs;
+    let route = RouteStrategy::LanRoute { use_cg: true };
+    eprintln!(
+        "running {} queries, k = {k}, b = {b}, {} worker threads:",
+        queries.len(),
+        lan_par::num_threads()
+    );
+
+    let seq = run_batch(
+        "sequential",
+        &queries,
+        &truth_kth,
+        k,
+        |q, seed| sharded.search(q, k, b, init, route, seed),
+        false,
+    );
+    let par_shards = run_batch(
+        "parallel shards",
+        &queries,
+        &truth_kth,
+        k,
+        |q, seed| sharded.search_par(q, k, b, init, route, seed),
+        false,
+    );
+    let par_queries = run_batch(
+        "parallel queries",
+        &queries,
+        &truth_kth,
+        k,
+        |q, seed| sharded.search(q, k, b, init, route, seed),
+        true,
+    );
+
+    assert_eq!(
+        seq.avg_ndc, par_shards.avg_ndc,
+        "shard-parallel NDC diverged"
+    );
+    assert_eq!(
+        seq.avg_ndc, par_queries.avg_ndc,
+        "query-parallel NDC diverged"
+    );
+    assert_eq!(
+        seq.avg_recall, par_shards.avg_recall,
+        "shard-parallel recall diverged"
+    );
+    assert_eq!(
+        seq.avg_recall, par_queries.avg_recall,
+        "query-parallel recall diverged"
+    );
+
+    let best = par_shards.qps.max(par_queries.qps);
+    let speedup = best / seq.qps.max(1e-12);
+    eprintln!("best parallel speedup over sequential: {speedup:.2}x");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"host_threads\": {},\n  \"lan_threads\": {},\n  \"num_shards\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"beam\": {},\n  \"build_s\": {:.3},\n  \"sequential\": {},\n  \"parallel_shards\": {},\n  \"parallel_queries\": {},\n  \"speedup\": {:.3}\n}}\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        lan_par::num_threads(),
+        num_shards,
+        queries.len(),
+        k,
+        b,
+        build_s,
+        json_stats(&seq),
+        json_stats(&par_shards),
+        json_stats(&par_queries),
+        speedup,
+    );
+    std::fs::write("results/BENCH_parallel.json", &json)
+        .expect("write results/BENCH_parallel.json");
+    eprintln!("wrote results/BENCH_parallel.json");
+}

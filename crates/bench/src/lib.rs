@@ -79,7 +79,11 @@ pub fn bench_lan_config(scale: Scale) -> LanConfig {
             ..ModelConfig::default()
         },
     };
-    LanConfig { pg: PgConfig::new(6), model, ds: 1.0 }
+    LanConfig {
+        pg: PgConfig::new(6),
+        model,
+        ds: 1.0,
+    }
 }
 
 /// Builds the index for one dataset preset at the current scale, printing
@@ -88,7 +92,10 @@ pub fn bench_lan_config(scale: Scale) -> LanConfig {
 pub fn build_index(spec: DatasetSpec, scale: Scale) -> LanIndex {
     let spec = sized_spec(spec, scale);
     let name = spec.name;
-    eprintln!("[{name}] generating dataset ({} graphs)...", spec.num_graphs);
+    eprintln!(
+        "[{name}] generating dataset ({} graphs)...",
+        spec.num_graphs
+    );
     let ds = Dataset::generate(spec);
     eprintln!(
         "[{name}] building index (PG + model training); avg |V| = {:.1}, avg |E| = {:.1}",

@@ -5,7 +5,7 @@
 use crate::index::LanIndex;
 use crate::l2route::L2RouteIndex;
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One point of a recall–QPS curve.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +99,50 @@ pub fn run_point(
     (point, breakdown)
 }
 
+/// The parallel counterpart of [`run_point`]: queries of the batch run
+/// concurrently (worker count from `lan-par`, `LAN_THREADS` overrides) and
+/// QPS is measured as true batch wall-clock throughput.
+///
+/// Every query keeps its sequential seed (`qi`), so per-query results,
+/// recall, and NDC are identical to [`run_point`]; the reported breakdown
+/// still sums per-query component times. The sequential path remains the
+/// one to use for deterministic latency measurements — parallel per-query
+/// `total_time` includes scheduling noise.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_parallel(
+    index: &LanIndex,
+    query_idx: &[usize],
+    truths: &[f64],
+    k: usize,
+    b: usize,
+    init: InitStrategy,
+    route: RouteStrategy,
+) -> (CurvePoint, Breakdown) {
+    let t0 = Instant::now();
+    let outs: Vec<QueryOutcome> = lan_par::par_map(query_idx, |&qi| {
+        let q = &index.dataset.queries[qi];
+        index.search_with(q, k, b, init, route, qi as u64)
+    });
+    let wall = t0.elapsed();
+
+    let mut recall_sum = 0.0;
+    let mut ndc_sum = 0usize;
+    let mut breakdown = Breakdown::default();
+    for (i, out) in outs.iter().enumerate() {
+        recall_sum += lan_datasets::dataset::recall_at_k_ties(&out.results, truths[i], k);
+        ndc_sum += out.ndc;
+        breakdown.add(out);
+    }
+    let n = query_idx.len().max(1) as f64;
+    let point = CurvePoint {
+        param: b,
+        recall: recall_sum / n,
+        qps: n / wall.as_secs_f64().max(1e-12),
+        avg_ndc: ndc_sum as f64 / n,
+    };
+    (point, breakdown)
+}
+
 /// A recall–QPS curve over a sweep of beam sizes.
 #[allow(clippy::too_many_arguments)]
 pub fn recall_qps_curve(
@@ -155,7 +199,11 @@ pub fn l2route_curve(
 pub fn qps_at_recall(curve: &[CurvePoint], target: f64) -> Option<f64> {
     // Walk points sorted by recall; linear interpolation in (recall, qps).
     let mut pts: Vec<&CurvePoint> = curve.iter().collect();
-    pts.sort_by(|a, b| a.recall.partial_cmp(&b.recall).unwrap_or(std::cmp::Ordering::Equal));
+    pts.sort_by(|a, b| {
+        a.recall
+            .partial_cmp(&b.recall)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     if pts.is_empty() || pts.last().unwrap().recall < target {
         return None;
     }
@@ -179,7 +227,12 @@ mod tests {
     use super::*;
 
     fn cp(recall: f64, qps: f64) -> CurvePoint {
-        CurvePoint { param: 0, recall, qps, avg_ndc: 0.0 }
+        CurvePoint {
+            param: 0,
+            recall,
+            qps,
+            avg_ndc: 0.0,
+        }
     }
 
     #[test]
@@ -194,10 +247,11 @@ mod tests {
 
     #[test]
     fn breakdown_fractions() {
-        let mut b = Breakdown::default();
-        b.total = Duration::from_millis(100);
-        b.distance = Duration::from_millis(60);
-        b.gnn = Duration::from_millis(25);
+        let b = Breakdown {
+            total: Duration::from_millis(100),
+            distance: Duration::from_millis(60),
+            gnn: Duration::from_millis(25),
+        };
         assert!((b.gnn_fraction() - 0.25).abs() < 1e-9);
         assert!((b.distance_fraction() - 0.6).abs() < 1e-9);
         assert_eq!(Breakdown::default().gnn_fraction(), 0.0);

@@ -15,7 +15,11 @@ pub struct LanConfig {
 
 impl Default for LanConfig {
     fn default() -> Self {
-        LanConfig { pg: PgConfig::new(6), model: ModelConfig::default(), ds: 1.0 }
+        LanConfig {
+            pg: PgConfig::new(6),
+            model: ModelConfig::default(),
+            ds: 1.0,
+        }
     }
 }
 
@@ -40,41 +44,22 @@ impl LanIndex {
         let build_ndc = pairs.computed();
 
         // Training distances: one row per training query, parallelized.
-        let train_dists: Vec<Vec<f64>> = {
-            let qis: Vec<usize> = dataset.split.train.clone();
-            std::thread::scope(|s| {
-                let threads = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(4)
-                    .min(qis.len().max(1));
-                let chunk = qis.len().div_ceil(threads);
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(qis.len());
-                        let qis = &qis[lo..hi];
-                        let dataset = &dataset;
-                        s.spawn(move || {
-                            qis.iter()
-                                .map(|&qi| {
-                                    (0..dataset.graphs.len() as u32)
-                                        .map(|g| dataset.distance(&dataset.queries[qi], g))
-                                        .collect::<Vec<f64>>()
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("distance worker panicked"))
-                    .collect()
-            })
-        };
+        let train_dists: Vec<Vec<f64>> = lan_par::par_map(&dataset.split.train, |&qi| {
+            (0..dataset.graphs.len() as u32)
+                .map(|g| dataset.distance(&dataset.queries[qi], g))
+                .collect::<Vec<f64>>()
+        });
 
         let (models, report) =
             LanModels::train(&dataset, pg.base(), &train_dists, cfg.model.clone());
-        LanIndex { dataset, pg, models, report, cfg, build_ndc }
+        LanIndex {
+            dataset,
+            pg,
+            models,
+            report,
+            cfg,
+            build_ndc,
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::index::LanIndex;
 use lan_graph::Graph;
 use lan_pg::{beam_search, DistCache, PairCache, PgConfig, ProximityGraph};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// L2route's own index: an HNSW over the embedding vectors.
@@ -66,12 +66,13 @@ impl L2RouteIndex {
             candidates.max(k),
         );
 
-        // Verification with true GED — this is the counted cost.
-        let dist_time = RefCell::new(Duration::ZERO);
+        // Verification with true GED — this is the counted cost. The timer
+        // is atomic because DistCache requires a Sync distance closure.
+        let dist_nanos = AtomicU64::new(0);
         let qd = |id: u32| {
             let t = Instant::now();
             let d = index.dataset.distance(q, id);
-            *dist_time.borrow_mut() += t.elapsed();
+            dist_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             d
         };
         let gcache = DistCache::new(&qd);
@@ -85,7 +86,7 @@ impl L2RouteIndex {
         verified.truncate(k);
         let ndc = gcache.ndc();
         drop(gcache);
-        let dt = *dist_time.borrow();
+        let dt = Duration::from_nanos(dist_nanos.load(Ordering::Relaxed));
         (verified, ndc, t0.elapsed(), dt)
     }
 }

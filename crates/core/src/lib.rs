@@ -26,11 +26,11 @@
 pub mod harness;
 pub mod index;
 pub mod l2route;
-pub mod sharded;
 pub mod query;
+pub mod sharded;
 
 pub use harness::{qps_at_recall, Breakdown, CurvePoint};
 pub use index::{LanConfig, LanIndex};
 pub use l2route::L2RouteIndex;
-pub use sharded::ShardedLanIndex;
 pub use query::{InitStrategy, QueryOutcome, RouteStrategy};
+pub use sharded::ShardedLanIndex;

@@ -13,7 +13,7 @@ use lan_pg::np_route::np_route;
 use lan_pg::{beam_search, DistCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Initial-node selection strategy.
@@ -62,7 +62,14 @@ impl LanIndex {
     /// Full LAN query: learned initial selection + learned-pruned routing
     /// with CG acceleration.
     pub fn search(&self, q: &Graph, k: usize, b: usize) -> QueryOutcome {
-        self.search_with(q, k, b, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }, 0)
+        self.search_with(
+            q,
+            k,
+            b,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
+            0,
+        )
     }
 
     /// The HNSW baseline: hierarchy entry + exhaustive beam routing.
@@ -82,11 +89,13 @@ impl LanIndex {
         seed: u64,
     ) -> QueryOutcome {
         let t_start = Instant::now();
-        let dist_time = RefCell::new(Duration::ZERO);
+        // Nanosecond counter instead of RefCell<Duration>: the closure must
+        // be Sync because DistCache is shared across threads in-search.
+        let dist_nanos = AtomicU64::new(0);
         let qd = |id: u32| {
             let t0 = Instant::now();
             let d = self.dataset.distance(q, id);
-            *dist_time.borrow_mut() += t0.elapsed();
+            dist_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             d
         };
         let cache = DistCache::new(&qd);
@@ -151,7 +160,7 @@ impl LanIndex {
         };
 
         drop(cache);
-        let distance_time = *dist_time.borrow();
+        let distance_time = Duration::from_nanos(dist_nanos.load(Ordering::Relaxed));
         QueryOutcome {
             results: route_result.results,
             ndc: route_result.ndc,

@@ -10,7 +10,7 @@
 
 use crate::index::{LanConfig, LanIndex};
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
-use lan_datasets::{Dataset, DatasetSpec};
+use lan_datasets::{Dataset, DatasetSpec, WorkloadSplit};
 use lan_graph::Graph;
 use std::time::Instant;
 
@@ -24,32 +24,57 @@ pub struct ShardedLanIndex {
 
 impl ShardedLanIndex {
     /// Splits `dataset` into `num_shards` contiguous equal-size shards and
-    /// builds one LAN index per shard. Every shard reuses the dataset's
-    /// query workload (models are trained per shard against its own
-    /// sub-database).
+    /// builds one LAN index per shard, in parallel across shards (models
+    /// are trained per shard against its own sub-database).
+    ///
+    /// Each shard receives a *slim* query workload — only the train and
+    /// validation query graphs, with the split indices remapped — instead
+    /// of a clone of the full workload: training touches nothing else, and
+    /// test queries arrive by reference at search time.
     pub fn build(dataset: &Dataset, cfg: &LanConfig, num_shards: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
         let n = dataset.graphs.len();
         assert!(num_shards <= n, "more shards than graphs");
         let chunk = n.div_ceil(num_shards);
-        let mut shards = Vec::with_capacity(num_shards);
-        let mut global_ids = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let lo = s * chunk;
-            let hi = ((s + 1) * chunk).min(n);
-            let ids: Vec<u32> = (lo as u32..hi as u32).collect();
+
+        let train_queries: Vec<Graph> = dataset
+            .split
+            .train
+            .iter()
+            .map(|&qi| dataset.queries[qi].clone())
+            .collect();
+        let val_queries: Vec<Graph> = dataset
+            .split
+            .val
+            .iter()
+            .map(|&qi| dataset.queries[qi].clone())
+            .collect();
+        let slim_queries: Vec<Graph> = train_queries.iter().chain(&val_queries).cloned().collect();
+        let slim_split = WorkloadSplit {
+            train: (0..train_queries.len()).collect(),
+            val: (train_queries.len()..slim_queries.len()).collect(),
+            test: Vec::new(),
+        };
+
+        let ranges: Vec<(usize, usize)> = (0..num_shards)
+            .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
+            .collect();
+        let shards: Vec<LanIndex> = lan_par::par_map(&ranges, |&(lo, hi)| {
             let sub = Dataset {
                 spec: DatasetSpec {
                     num_graphs: hi - lo,
                     ..dataset.spec.clone()
                 },
                 graphs: dataset.graphs[lo..hi].to_vec(),
-                queries: dataset.queries.clone(),
-                split: dataset.split.clone(),
+                queries: slim_queries.clone(),
+                split: slim_split.clone(),
             };
-            shards.push(LanIndex::build(sub, cfg.clone()));
-            global_ids.push(ids);
-        }
+            LanIndex::build(sub, cfg.clone())
+        });
+        let global_ids = ranges
+            .into_iter()
+            .map(|(lo, hi)| (lo as u32..hi as u32).collect())
+            .collect();
         ShardedLanIndex { shards, global_ids }
     }
 
@@ -80,12 +105,47 @@ impl ShardedLanIndex {
         seed: u64,
     ) -> QueryOutcome {
         let t0 = Instant::now();
+        let per_shard: Vec<QueryOutcome> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| shard.search_with(q, k, b, init, route, seed ^ s as u64))
+            .collect();
+        self.merge(per_shard, k, t0)
+    }
+
+    /// Parallel k-ANN: every shard searched concurrently, merged exactly
+    /// like [`ShardedLanIndex::search`]. Results and total NDC are
+    /// byte-identical to the sequential path (each shard's search is
+    /// deterministic and shard-local, and the merge is order-independent);
+    /// only `total_time` differs — it measures true wall-clock, so it
+    /// shrinks with the worker count.
+    pub fn search_par(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+    ) -> QueryOutcome {
+        let t0 = Instant::now();
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard: Vec<QueryOutcome> = lan_par::par_map(&idx, |&s| {
+            self.shards[s].search_with(q, k, b, init, route, seed ^ s as u64)
+        });
+        self.merge(per_shard, k, t0)
+    }
+
+    /// Merges per-shard outcomes (ordered by shard index) into one global
+    /// outcome: local ids remapped through `global_ids`, NDC and the
+    /// distance/GNN time components summed, `(distance, id)`-sorted top-k.
+    fn merge(&self, per_shard: Vec<QueryOutcome>, k: usize, t0: Instant) -> QueryOutcome {
         let mut merged: Vec<(f64, u32)> = Vec::new();
         let mut ndc = 0usize;
         let mut distance_time = std::time::Duration::ZERO;
         let mut gnn_time = std::time::Duration::ZERO;
-        for (s, shard) in self.shards.iter().enumerate() {
-            let out = shard.search_with(q, k, b, init, route, seed ^ s as u64);
+        for (s, out) in per_shard.into_iter().enumerate() {
             ndc += out.ndc;
             distance_time += out.distance_time;
             gnn_time += out.gnn_time;
@@ -149,14 +209,7 @@ mod tests {
         let q = dataset.queries[0].clone();
         // Beam >= shard size: each shard's connected base layer is fully
         // explored, so the merge must be exact.
-        let out = sharded.search(
-            &q,
-            5,
-            32,
-            InitStrategy::HnswIs,
-            RouteStrategy::HnswRoute,
-            0,
-        );
+        let out = sharded.search(&q, 5, 32, InitStrategy::HnswIs, RouteStrategy::HnswRoute, 0);
         assert_eq!(out.results.len(), 5);
         assert!(out.results.windows(2).all(|w| w[0].0 <= w[1].0));
         // Global ids must span the whole database range, not one shard.

@@ -36,10 +36,22 @@ fn all_strategy_combinations_work() {
     let idx = small_index();
     let q = idx.dataset.queries[idx.dataset.split.test[0]].clone();
     let combos = [
-        (InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }),
-        (InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false }),
-        (InitStrategy::HnswIs, RouteStrategy::LanRoute { use_cg: true }),
-        (InitStrategy::RandIs, RouteStrategy::LanRoute { use_cg: true }),
+        (
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
+        ),
+        (
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
+        ),
+        (
+            InitStrategy::HnswIs,
+            RouteStrategy::LanRoute { use_cg: true },
+        ),
+        (
+            InitStrategy::RandIs,
+            RouteStrategy::LanRoute { use_cg: true },
+        ),
         (InitStrategy::HnswIs, RouteStrategy::HnswRoute),
         (InitStrategy::LanIs, RouteStrategy::HnswRoute),
         (InitStrategy::RandIs, RouteStrategy::HnswRoute),
@@ -61,10 +73,20 @@ fn cg_and_plain_routing_agree() {
     for &qi in idx.dataset.split.test.iter().take(3) {
         let q = idx.dataset.queries[qi].clone();
         let a = idx.search_with(
-            &q, 5, 10, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }, 3,
+            &q,
+            5,
+            10,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
+            3,
         );
         let b = idx.search_with(
-            &q, 5, 10, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false }, 3,
+            &q,
+            5,
+            10,
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
+            3,
         );
         assert_eq!(a.results, b.results, "CG changed the search results");
         assert_eq!(a.ndc, b.ndc, "CG changed the NDC");
@@ -86,7 +108,10 @@ fn lan_achieves_reasonable_recall() {
         RouteStrategy::LanRoute { use_cg: true },
     );
     assert!(point.recall >= 0.5, "LAN recall too low: {}", point.recall);
-    assert!(point.avg_ndc < idx.dataset.graphs.len() as f64, "NDC worse than a scan");
+    assert!(
+        point.avg_ndc < idx.dataset.graphs.len() as f64,
+        "NDC worse than a scan"
+    );
 }
 
 #[test]
@@ -95,12 +120,22 @@ fn lan_route_saves_ndc_vs_baseline() {
     let test_q: Vec<usize> = idx.dataset.split.test.clone();
     let truths = harness::ground_truths(&idx, &test_q, 5);
     let (lan, _) = harness::run_point(
-        &idx, &test_q, &truths, 5, 10,
-        InitStrategy::HnswIs, RouteStrategy::LanRoute { use_cg: true },
+        &idx,
+        &test_q,
+        &truths,
+        5,
+        10,
+        InitStrategy::HnswIs,
+        RouteStrategy::LanRoute { use_cg: true },
     );
     let (hnsw, _) = harness::run_point(
-        &idx, &test_q, &truths, 5, 10,
-        InitStrategy::HnswIs, RouteStrategy::HnswRoute,
+        &idx,
+        &test_q,
+        &truths,
+        5,
+        10,
+        InitStrategy::HnswIs,
+        RouteStrategy::HnswRoute,
     );
     // The NDC <= baseline guarantee (Theorem 1) holds for the *oracle*
     // ranker (tested in lan-pg); a barely-trained learned ranker on this
@@ -112,7 +147,12 @@ fn lan_route_saves_ndc_vs_baseline() {
         hnsw.avg_ndc
     );
     // Quality must stay in the same ballpark.
-    assert!(lan.recall >= hnsw.recall - 0.25, "{} vs {}", lan.recall, hnsw.recall);
+    assert!(
+        lan.recall >= hnsw.recall - 0.25,
+        "{} vs {}",
+        lan.recall,
+        hnsw.recall
+    );
 }
 
 #[test]
@@ -136,5 +176,8 @@ fn breakdown_is_consistent() {
     let out = idx.search(&q, 5, 10);
     assert!(out.gnn_time <= out.total_time);
     assert!(out.distance_time <= out.total_time);
-    assert!(out.gnn_time.as_nanos() > 0, "LAN query must spend time in the GNN");
+    assert!(
+        out.gnn_time.as_nanos() > 0,
+        "LAN query must spend time in the GNN"
+    );
 }

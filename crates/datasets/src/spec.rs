@@ -166,12 +166,18 @@ mod tests {
         assert!(p.avg_nodes > a.avg_nodes);
         let s = DatasetSpec::syn();
         assert_eq!(s.num_labels, 5);
-        assert!(s.num_graphs > a.num_graphs, "SYN is the scalability dataset");
+        assert!(
+            s.num_graphs > a.num_graphs,
+            "SYN is the scalability dataset"
+        );
     }
 
     #[test]
     fn builders() {
-        let s = DatasetSpec::syn().with_graphs(99).with_queries(7).with_seed(42);
+        let s = DatasetSpec::syn()
+            .with_graphs(99)
+            .with_queries(7)
+            .with_seed(42);
         assert_eq!(s.num_graphs, 99);
         assert_eq!(s.num_queries, 7);
         assert_eq!(s.seed, 42);

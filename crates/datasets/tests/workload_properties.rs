@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 fn quick(spec: DatasetSpec, n: usize, q: usize) -> Dataset {
     Dataset::generate(
-        spec.with_graphs(n).with_queries(q).with_metric(GedMethod::Hungarian),
+        spec.with_graphs(n)
+            .with_queries(q)
+            .with_metric(GedMethod::Hungarian),
     )
 }
 
@@ -16,7 +18,10 @@ fn every_preset_generates_and_splits() {
         let d = quick(spec, 40, 10);
         assert_eq!(d.graphs.len(), 40);
         assert_eq!(d.queries.len(), 10);
-        assert_eq!(d.split.train.len() + d.split.val.len() + d.split.test.len(), 10);
+        assert_eq!(
+            d.split.train.len() + d.split.val.len() + d.split.test.len(),
+            10
+        );
         // Family structure: consecutive graphs in a family should be close.
         let d01 = d.pair_distance(0, 1);
         let mut cross: f64 = 0.0;

@@ -23,7 +23,10 @@ pub struct CostMatrix {
 impl CostMatrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        CostMatrix { n, data: vec![0.0; n * n] }
+        CostMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Creates from a row-major vector. Panics if `data.len() != n * n`.
@@ -71,7 +74,10 @@ pub struct Assignment {
 pub fn hungarian(c: &CostMatrix) -> Assignment {
     let n = c.n();
     if n == 0 {
-        return Assignment { row_to_col: vec![], cost: 0.0 };
+        return Assignment {
+            row_to_col: vec![],
+            cost: 0.0,
+        };
     }
     const INF: f64 = f64::INFINITY;
     // 1-based internally per the classic formulation; p[j] = row matched to
@@ -145,7 +151,10 @@ pub fn hungarian(c: &CostMatrix) -> Assignment {
 pub fn lapjv(c: &CostMatrix) -> Assignment {
     let n = c.n();
     if n == 0 {
-        return Assignment { row_to_col: vec![], cost: 0.0 };
+        return Assignment {
+            row_to_col: vec![],
+            cost: 0.0,
+        };
     }
     const INF: f64 = f64::INFINITY;
     let mut x = vec![usize::MAX; n]; // row -> col
@@ -184,8 +193,8 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
             let mut u2 = INF;
             let mut j1 = 0usize;
             let mut j2 = usize::MAX;
-            for j in 1..n {
-                let h = c.get(i, j) - v[j];
+            for (j, &vj) in v.iter().enumerate().skip(1) {
+                let h = c.get(i, j) - vj;
                 if h < u2 {
                     if h < u1 {
                         u2 = u1;
@@ -285,7 +294,10 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
     }
 
     let cost = (0..n).map(|i| c.get(i, x[i])).sum();
-    Assignment { row_to_col: x, cost }
+    Assignment {
+        row_to_col: x,
+        cost,
+    }
 }
 
 #[cfg(test)]

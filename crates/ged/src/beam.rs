@@ -38,7 +38,12 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
     let n1 = g1.node_count();
     let n2 = g2.node_count();
 
-    let mut frontier = vec![Partial { map: Vec::new(), used: vec![false; n2], g: 0.0, f: 0.0 }];
+    let mut frontier = vec![Partial {
+        map: Vec::new(),
+        used: vec![false; n2],
+        g: 0.0,
+        f: 0.0,
+    }];
     for i in 0..n1 {
         let u = i as NodeId;
         let mut next: Vec<Partial> = Vec::with_capacity(frontier.len() * (n2 + 1));
@@ -88,7 +93,7 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
         frontier = next;
     }
 
-    let best = frontier
+    frontier
         .into_iter()
         .map(|p| {
             let m = NodeMapping { map: p.map };
@@ -96,8 +101,7 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
             (d, m)
         })
         .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("beam frontier never empty");
-    best
+        .expect("beam frontier never empty")
 }
 
 /// Beam-search approximate GED (distance only).
@@ -137,7 +141,9 @@ mod tests {
         for _ in 0..30 {
             let g1 = erdos_renyi(&mut rng, 5, 5, 3);
             let g2 = erdos_renyi(&mut rng, 6, 6, 3);
-            let exact = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+            let exact = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
             for w in [1, 4, 16] {
                 let d = beam_ged(&g1, &g2, w);
                 assert!(d + 1e-9 >= exact, "beam({w}) = {d} < exact {exact}");
@@ -152,7 +158,9 @@ mod tests {
             let g1 = erdos_renyi(&mut rng, 6, 6, 3);
             let g2 = erdos_renyi(&mut rng, 6, 7, 3);
             let d_wide = beam_ged(&g1, &g2, 64);
-            let exact = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+            let exact = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
             // A wide beam on tiny graphs should be optimal or very close.
             assert!(d_wide <= exact + 2.0, "wide beam {d_wide} vs exact {exact}");
         }

@@ -158,7 +158,9 @@ mod tests {
         for _ in 0..40 {
             let g1 = erdos_renyi(&mut rng, 5, 5, 3);
             let g2 = erdos_renyi(&mut rng, 6, 6, 3);
-            let exact = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+            let exact = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
             for solver in [Solver::Hungarian, Solver::Vj] {
                 let approx = bipartite_ged(&g1, &g2, solver);
                 assert!(
@@ -196,7 +198,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let g1 = erdos_renyi(&mut rng, 5, 4, 3);
         let g2 = erdos_renyi(&mut rng, 5, 6, 3);
-        let exact = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+        let exact = exact_ged(&g1, &g2, &ExactLimits::default())
+            .distance()
+            .unwrap();
         assert!(bipartite_ged(&g1, &g2, Solver::Vj) >= exact);
         assert!(bipartite_ged(&g2, &g1, Solver::Vj) >= exact);
     }

@@ -28,7 +28,10 @@ pub enum GedMethod {
 pub fn ged(g1: &Graph, g2: &Graph, method: &GedMethod) -> Option<f64> {
     match method {
         GedMethod::Exact { timeout_ms } => {
-            let limits = ExactLimits { timeout_ms: *timeout_ms, ..ExactLimits::default() };
+            let limits = ExactLimits {
+                timeout_ms: *timeout_ms,
+                ..ExactLimits::default()
+            };
             exact_ged(g1, g2, &limits).distance()
         }
         GedMethod::Hungarian => Some(bipartite_ged(g1, g2, Solver::Hungarian)),
@@ -57,7 +60,11 @@ pub struct GroundTruthConfig {
 
 impl Default for GroundTruthConfig {
     fn default() -> Self {
-        GroundTruthConfig { exact_timeout_ms: 1_000, beam_width: 16, exact_node_cap: 12 }
+        GroundTruthConfig {
+            exact_timeout_ms: 1_000,
+            beam_width: 16,
+            exact_node_cap: 12,
+        }
     }
 }
 
@@ -65,14 +72,22 @@ impl Default for GroundTruthConfig {
 /// whether it is provably exact.
 pub fn ground_truth_ged(g1: &Graph, g2: &Graph, cfg: &GroundTruthConfig) -> (f64, bool) {
     if g1.node_count() <= cfg.exact_node_cap && g2.node_count() <= cfg.exact_node_cap {
-        let limits =
-            ExactLimits { timeout_ms: cfg.exact_timeout_ms, ..ExactLimits::default() };
+        let limits = ExactLimits {
+            timeout_ms: cfg.exact_timeout_ms,
+            ..ExactLimits::default()
+        };
         if let ExactOutcome::Optimal { distance, .. } = exact_ged(g1, g2, &limits) {
             return (distance, true);
         }
     }
-    let d = ged(g1, g2, &GedMethod::BestOfThree { beam_width: cfg.beam_width })
-        .expect("BestOfThree is total");
+    let d = ged(
+        g1,
+        g2,
+        &GedMethod::BestOfThree {
+            beam_width: cfg.beam_width,
+        },
+    )
+    .expect("BestOfThree is total");
     (d, false)
 }
 

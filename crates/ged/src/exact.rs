@@ -49,7 +49,10 @@ pub struct ExactLimits {
 
 impl Default for ExactLimits {
     fn default() -> Self {
-        ExactLimits { timeout_ms: 10_000, max_expansions: 2_000_000 }
+        ExactLimits {
+            timeout_ms: 10_000,
+            max_expansions: 2_000_000,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                         inv[v as usize] = u as NodeId;
                     }
                 }
-                ExactOutcome::Optimal { distance, mapping: NodeMapping { map: inv } }
+                ExactOutcome::Optimal {
+                    distance,
+                    mapping: NodeMapping { map: inv },
+                }
             }
             t => t,
         };
@@ -125,8 +131,8 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
     // r1[i]: g1 edges not yet fixed when the first i nodes are assigned
     // (an edge (u,w), u<w is fixed once w < i).
     let mut r1 = vec![0u32; n1 + 1];
-    for i in 0..=n1 {
-        r1[i] = g1.edges().filter(|&(_, w)| (w as usize) >= i).count() as u32;
+    for (i, r) in r1.iter_mut().enumerate() {
+        *r = g1.edges().filter(|&(_, w)| (w as usize) >= i).count() as u32;
     }
     let e2 = g2.edge_count() as u32;
 
@@ -141,13 +147,18 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
         f: h0,
         depth: 0,
         seq,
-        state: State { map: Vec::new(), used: 0, g: 0.0, fixed2: 0 },
+        state: State {
+            map: Vec::new(),
+            used: 0,
+            g: 0.0,
+            fixed2: 0,
+        },
     });
 
     let mut expansions = 0usize;
     while let Some(HeapItem { state, .. }) = heap.pop() {
         expansions += 1;
-        if expansions % 256 == 0 && Instant::now() > deadline {
+        if expansions.is_multiple_of(256) && Instant::now() > deadline {
             return ExactOutcome::TimedOut;
         }
         if expansions > limits.max_expansions {
@@ -159,7 +170,9 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
             let mapping = NodeMapping { map: state.map };
             let distance = mapping_cost(g1, g2, &mapping);
             // Sanity: terminal g must agree with the induced path cost.
-            debug_assert!((terminal_cost(&state.g, n2, state.used, e2, state.fixed2) - distance).abs() < 1e-9);
+            debug_assert!(
+                (terminal_cost(&state.g, n2, state.used, e2, state.fixed2) - distance).abs() < 1e-9
+            );
             return ExactOutcome::Optimal { distance, mapping };
         }
         let u = i as NodeId;
@@ -201,7 +214,12 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                 f: g + h,
                 depth: i + 1,
                 seq,
-                state: State { map, used, g, fixed2 },
+                state: State {
+                    map,
+                    used,
+                    g,
+                    fixed2,
+                },
             });
         }
         // Child: u -> EPS (delete u and its edges to assigned nodes).
@@ -220,7 +238,12 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                 f: g + h,
                 depth: i + 1,
                 seq,
-                state: State { map, used: state.used, g, fixed2: state.fixed2 },
+                state: State {
+                    map,
+                    used: state.used,
+                    g,
+                    fixed2: state.fixed2,
+                },
             });
         }
     }
@@ -275,7 +298,13 @@ pub fn brute_force_ged(g1: &Graph, g2: &Graph) -> f64 {
         map.pop();
     }
     let mut best = f64::INFINITY;
-    rec(g1, g2, &mut Vec::new(), &mut vec![false; g2.node_count()], &mut best);
+    rec(
+        g1,
+        g2,
+        &mut Vec::new(),
+        &mut vec![false; g2.node_count()],
+        &mut best,
+    );
     best
 }
 
@@ -305,15 +334,22 @@ mod tests {
     #[test]
     fn fig2_is_five() {
         let (g, q) = fig2();
-        assert_eq!(exact_ged(&g, &q, &ExactLimits::default()).distance(), Some(5.0));
+        assert_eq!(
+            exact_ged(&g, &q, &ExactLimits::default()).distance(),
+            Some(5.0)
+        );
         assert_eq!(brute_force_ged(&g, &q), 5.0);
     }
 
     #[test]
     fn symmetry() {
         let (g, q) = fig2();
-        let d1 = exact_ged(&g, &q, &ExactLimits::default()).distance().unwrap();
-        let d2 = exact_ged(&q, &g, &ExactLimits::default()).distance().unwrap();
+        let d1 = exact_ged(&g, &q, &ExactLimits::default())
+            .distance()
+            .unwrap();
+        let d2 = exact_ged(&q, &g, &ExactLimits::default())
+            .distance()
+            .unwrap();
         assert_eq!(d1, d2);
     }
 
@@ -322,15 +358,24 @@ mod tests {
         let e = Graph::empty();
         let g = Graph::from_edges(vec![0, 1], &[(0, 1)]).unwrap();
         // Build g from nothing: 2 node inserts + 1 edge insert.
-        assert_eq!(exact_ged(&e, &g, &ExactLimits::default()).distance(), Some(3.0));
-        assert_eq!(exact_ged(&e, &e, &ExactLimits::default()).distance(), Some(0.0));
+        assert_eq!(
+            exact_ged(&e, &g, &ExactLimits::default()).distance(),
+            Some(3.0)
+        );
+        assert_eq!(
+            exact_ged(&e, &e, &ExactLimits::default()).distance(),
+            Some(0.0)
+        );
     }
 
     #[test]
     fn single_relabel() {
         let g1 = Graph::from_edges(vec![0, 1], &[(0, 1)]).unwrap();
         let g2 = Graph::from_edges(vec![0, 2], &[(0, 1)]).unwrap();
-        assert_eq!(exact_ged(&g1, &g2, &ExactLimits::default()).distance(), Some(1.0));
+        assert_eq!(
+            exact_ged(&g1, &g2, &ExactLimits::default()).distance(),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -340,7 +385,9 @@ mod tests {
             let g1 = erdos_renyi(&mut rng, 4, 4, 3);
             let g2 = erdos_renyi(&mut rng, 5, 5, 3);
             let want = brute_force_ged(&g1, &g2);
-            let got = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+            let got = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
             assert_eq!(got, want, "mismatch for {g1:?} vs {g2:?}");
         }
     }
@@ -351,7 +398,9 @@ mod tests {
         for _ in 0..30 {
             let g1 = erdos_renyi(&mut rng, 5, 5, 4);
             let g2 = erdos_renyi(&mut rng, 5, 6, 4);
-            let d = exact_ged(&g1, &g2, &ExactLimits::default()).distance().unwrap();
+            let d = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
             assert!(label_size_lb(&g1, &g2) <= d + 1e-9);
         }
     }
@@ -362,7 +411,9 @@ mod tests {
         for _ in 0..20 {
             let g = erdos_renyi(&mut rng, 6, 6, 4);
             let (p, applied) = perturb(&mut rng, &g, 3, 4);
-            let d = exact_ged(&g, &p, &ExactLimits::default()).distance().unwrap();
+            let d = exact_ged(&g, &p, &ExactLimits::default())
+                .distance()
+                .unwrap();
             assert!(d <= applied as f64 + 1e-9, "d={d} applied={applied}");
         }
     }
@@ -373,7 +424,10 @@ mod tests {
         let g = erdos_renyi(&mut rng, 6, 7, 3);
         let perm: Vec<u32> = vec![5, 3, 0, 1, 4, 2];
         let p = g.permute(&perm);
-        assert_eq!(exact_ged(&g, &p, &ExactLimits::default()).distance(), Some(0.0));
+        assert_eq!(
+            exact_ged(&g, &p, &ExactLimits::default()).distance(),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -381,7 +435,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(25);
         let g1 = erdos_renyi(&mut rng, 24, 40, 2);
         let g2 = erdos_renyi(&mut rng, 24, 40, 2);
-        let out = exact_ged(&g1, &g2, &ExactLimits { timeout_ms: 1, max_expansions: 10_000 });
+        let out = exact_ged(
+            &g1,
+            &g2,
+            &ExactLimits {
+                timeout_ms: 1,
+                max_expansions: 10_000,
+            },
+        );
         // Either it got lucky fast or reports a timeout; must not hang.
         match out {
             ExactOutcome::Optimal { distance, .. } => assert!(distance >= 0.0),

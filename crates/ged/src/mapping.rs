@@ -22,7 +22,9 @@ pub struct NodeMapping {
 impl NodeMapping {
     /// The identity mapping for graphs with the same node count.
     pub fn identity(n: usize) -> Self {
-        NodeMapping { map: (0..n as NodeId).collect() }
+        NodeMapping {
+            map: (0..n as NodeId).collect(),
+        }
     }
 
     /// True if no two `g1` nodes map to the same `g2` node.
@@ -111,7 +113,9 @@ mod tests {
         let h = Graph::from_edges(vec![0, 0], &[(0, 1)]).unwrap();
         // map 0->0, 1->eps, 2->1: delete node 1 (+1), delete edges (0,1),(1,2)
         // (+2), then g2 edge (0,1) must be inserted (+1) => 4.
-        let phi = NodeMapping { map: vec![0, EPS, 1] };
+        let phi = NodeMapping {
+            map: vec![0, EPS, 1],
+        };
         assert_eq!(mapping_cost(&g, &h, &phi), 4.0);
     }
 
@@ -134,7 +138,9 @@ mod tests {
         let q = Graph::from_edges(vec![0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
         // Map v0->u1 (A->B relabel), v1->u0 (B->A), v2->u2 (B->A), v3->eps:
         // 3 relabels + 1 deletion + 1 edge deletion (v0,v3) = 5.
-        let phi = NodeMapping { map: vec![1, 0, 2, EPS] };
+        let phi = NodeMapping {
+            map: vec![1, 0, 2, EPS],
+        };
         assert_eq!(mapping_cost(&g, &q, &phi), 5.0);
         // An alternative path reaches 5 as well (delete two leaves, insert
         // the (u1,u2) edge); exact::tests verifies 5 is optimal.
@@ -144,7 +150,9 @@ mod tests {
     fn injectivity_check() {
         let phi = NodeMapping { map: vec![0, 0] };
         assert!(!phi.is_injective());
-        let phi = NodeMapping { map: vec![EPS, EPS, 1] };
+        let phi = NodeMapping {
+            map: vec![EPS, EPS, 1],
+        };
         assert!(phi.is_injective());
     }
 }

@@ -28,7 +28,9 @@ pub struct McsLimits {
 
 impl Default for McsLimits {
     fn default() -> Self {
-        McsLimits { max_expansions: 200_000 }
+        McsLimits {
+            max_expansions: 200_000,
+        }
     }
 }
 
@@ -61,9 +63,9 @@ impl McsSearch<'_> {
                     continue;
                 }
                 // Adjacency consistency against already-mapped pairs.
-                let consistent = pairs.iter().all(|&(pu, pv)| {
-                    self.g1.has_edge(u, pu) == self.g2.has_edge(v, pv)
-                });
+                let consistent = pairs
+                    .iter()
+                    .all(|&(pu, pv)| self.g1.has_edge(u, pu) == self.g2.has_edge(v, pv));
                 if !consistent {
                     continue;
                 }
@@ -92,7 +94,13 @@ pub fn mcs_size(g1: &Graph, g2: &Graph, limits: &McsLimits) -> usize {
     if g1.node_count() == 0 {
         return 0;
     }
-    let mut s = McsSearch { g1, g2, limits: *limits, expansions: 0, best: 0 };
+    let mut s = McsSearch {
+        g1,
+        g2,
+        limits: *limits,
+        expansions: 0,
+        best: 0,
+    };
     let mut used2 = vec![false; g2.node_count()];
     s.rec(&mut Vec::new(), 0, &mut used2);
     s.best
@@ -124,8 +132,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn path(labels: &[u16]) -> Graph {
-        let edges: Vec<(u32, u32)> =
-            (1..labels.len()).map(|i| ((i - 1) as u32, i as u32)).collect();
+        let edges: Vec<(u32, u32)> = (1..labels.len())
+            .map(|i| ((i - 1) as u32, i as u32))
+            .collect();
         Graph::from_edges(labels.to_vec(), &edges).unwrap()
     }
 
@@ -152,7 +161,10 @@ mod tests {
         let g2 = path(&[1, 1]);
         assert_eq!(mcs_size(&g1, &g2, &McsLimits::default()), 0);
         assert_eq!(mcs_distance(&g1, &g2, &McsLimits::default()), 4.0);
-        assert_eq!(mcs_distance_normalized(&g1, &g2, &McsLimits::default()), 1.0);
+        assert_eq!(
+            mcs_distance_normalized(&g1, &g2, &McsLimits::default()),
+            1.0
+        );
     }
 
     #[test]
@@ -196,7 +208,13 @@ mod tests {
         let g1 = erdos_renyi(&mut rng, 12, 20, 2);
         let g2 = erdos_renyi(&mut rng, 12, 20, 2);
         let exact_ish = mcs_size(&g1, &g2, &McsLimits::default());
-        let budgeted = mcs_size(&g1, &g2, &McsLimits { max_expansions: 200 });
+        let budgeted = mcs_size(
+            &g1,
+            &g2,
+            &McsLimits {
+                max_expansions: 200,
+            },
+        );
         assert!(budgeted <= exact_ish);
         assert!(budgeted >= 1, "greedy progress should find something");
     }

@@ -51,7 +51,7 @@ impl CompressedGnnGraph {
             let mut membership = vec![0u32; n];
             let mut group_sizes: Vec<u32> = Vec::new();
             let mut rep: Vec<usize> = Vec::new();
-            for v in 0..n {
+            for (v, m) in membership.iter_mut().enumerate() {
                 let wl_id = wl.labels[l][v] as usize;
                 if remap.len() <= wl_id {
                     remap.resize(wl_id + 1, -1);
@@ -65,7 +65,7 @@ impl CompressedGnnGraph {
                     rep.push(v);
                     gid
                 };
-                membership[v] = gid;
+                *m = gid;
                 group_sizes[gid as usize] += 1;
             }
 
@@ -101,11 +101,22 @@ impl CompressedGnnGraph {
                     .collect()
             };
 
-            levels.push(CgLevel { group_sizes, in_edges, membership });
+            levels.push(CgLevel {
+                group_sizes,
+                in_edges,
+                membership,
+            });
         }
 
-        let cg = CompressedGnnGraph { levels, level0_labels, n };
-        debug_assert!(cg.validate(g), "CG construction produced inconsistent groups");
+        let cg = CompressedGnnGraph {
+            levels,
+            level0_labels,
+            n,
+        };
+        debug_assert!(
+            cg.validate(g),
+            "CG construction produced inconsistent groups"
+        );
         cg
     }
 
@@ -121,7 +132,10 @@ impl CompressedGnnGraph {
 
     /// Total weighted-edge count `Σ_l |E_l(H*)|`.
     pub fn edge_count(&self) -> usize {
-        self.levels.iter().map(|lv| lv.in_edges.iter().map(Vec::len).sum::<usize>()).sum()
+        self.levels
+            .iter()
+            .map(|lv| lv.in_edges.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Verifies Definition 2 holds: within each group at level `l ≥ 1`,

@@ -46,7 +46,10 @@ impl CrossInput {
     /// Plain (uncompressed) view of a graph: `M_l = A + I` at every layer,
     /// all multiplicities 1.
     pub fn plain(g: &Graph, cfg: &GnnConfig) -> Self {
-        assert!(g.node_count() > 0, "cross-graph learning needs a non-empty graph");
+        assert!(
+            g.node_count() > 0,
+            "cross-graph learning needs a non-empty graph"
+        );
         let layers = cfg.dims.len();
         let a = agg_matrix(g);
         CrossInput {
@@ -59,7 +62,11 @@ impl CrossInput {
     /// Compressed view from a CG (paper Definition 3).
     pub fn compressed(cg: &CompressedGnnGraph, cfg: &GnnConfig) -> Self {
         let layers = cfg.dims.len();
-        assert_eq!(cg.levels.len(), layers + 1, "CG depth must match the network");
+        assert_eq!(
+            cg.levels.len(),
+            layers + 1,
+            "CG depth must match the network"
+        );
         assert!(cg.n > 0, "cross-graph learning needs a non-empty graph");
         let mut aggs = Vec::with_capacity(layers);
         for l in 1..=layers {
@@ -220,10 +227,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn new_net(seed: u64, num_labels: usize, dim: usize, layers: usize) -> (CrossGraphNet, ParamStore) {
+    fn new_net(
+        seed: u64,
+        num_labels: usize,
+        dim: usize,
+        layers: usize,
+    ) -> (CrossGraphNet, ParamStore) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let net = CrossGraphNet::new(&mut rng, &mut store, GnnConfig::uniform(num_labels, dim, layers));
+        let net = CrossGraphNet::new(
+            &mut rng,
+            &mut store,
+            GnnConfig::uniform(num_labels, dim, layers),
+        );
         (net, store)
     }
 
@@ -255,7 +271,10 @@ mod tests {
         let comp = net.forward_cg(&mut t2, &store, &cg_g, &cg_q);
 
         let d = t1.value(plain.h_pair).max_abs_diff(t2.value(comp.h_pair));
-        assert!(d < 1e-5, "CG and plain cross-graph embeddings differ by {d}");
+        assert!(
+            d < 1e-5,
+            "CG and plain cross-graph embeddings differ by {d}"
+        );
     }
 
     #[test]

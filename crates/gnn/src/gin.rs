@@ -40,7 +40,10 @@ pub struct GnnConfig {
 impl GnnConfig {
     /// `L` layers of width `dim` over `num_labels` input features.
     pub fn uniform(num_labels: usize, dim: usize, layers: usize) -> Self {
-        GnnConfig { num_labels, dims: vec![dim; layers] }
+        GnnConfig {
+            num_labels,
+            dims: vec![dim; layers],
+        }
     }
 
     /// Output dimension of the final layer.
@@ -112,7 +115,11 @@ mod tests {
     fn new_gin(seed: u64, num_labels: usize, dim: usize, layers: usize) -> (Gin, ParamStore) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let gin = Gin::new(&mut rng, &mut store, GnnConfig::uniform(num_labels, dim, layers));
+        let gin = Gin::new(
+            &mut rng,
+            &mut store,
+            GnnConfig::uniform(num_labels, dim, layers),
+        );
         (gin, store)
     }
 
@@ -149,7 +156,10 @@ mod tests {
             let pg = g.permute(&perm);
             let e1 = gin.embed(&store, &g);
             let e2 = gin.embed(&store, &pg);
-            assert!(e1.max_abs_diff(&e2) < 1e-4, "pooled embedding not invariant");
+            assert!(
+                e1.max_abs_diff(&e2) < 1e-4,
+                "pooled embedding not invariant"
+            );
         }
     }
 

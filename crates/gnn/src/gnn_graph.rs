@@ -35,7 +35,11 @@ impl GnnGraph {
                 v
             })
             .collect();
-        GnnGraph { n, layers, in_neighbors }
+        GnnGraph {
+            n,
+            layers,
+            in_neighbors,
+        }
     }
 
     /// Total DAG node count `(L+1) · n`.

@@ -309,7 +309,11 @@ mod tests {
         // Preferential attachment should produce at least one hub well above
         // the average degree.
         let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
-        assert!(g.max_degree() as f64 > 1.5 * avg, "max {} avg {avg}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 1.5 * avg,
+            "max {} avg {avg}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub struct Graph {
 impl Graph {
     /// An empty graph.
     pub fn empty() -> Self {
-        Graph { labels: Vec::new(), adj: Vec::new(), edge_count: 0 }
+        Graph {
+            labels: Vec::new(),
+            adj: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph directly from labels and an edge list.
@@ -104,16 +108,17 @@ impl Graph {
 
     /// Whether the undirected edge `(u, v)` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v
-            && (u as usize) < self.adj.len()
-            && self.adj[u as usize].binary_search(&v).is_ok()
+        u != v && (u as usize) < self.adj.len() && self.adj[u as usize].binary_search(&v).is_ok()
     }
 
     /// Iterates over all undirected edges once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, ns)| {
             let u = u as NodeId;
-            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            ns.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -161,7 +166,11 @@ impl Graph {
             adj[nv] = self.adj[v].iter().map(|&w| perm[w as usize]).collect();
             adj[nv].sort_unstable();
         }
-        Graph { labels, adj, edge_count: self.edge_count }
+        Graph {
+            labels,
+            adj,
+            edge_count: self.edge_count,
+        }
     }
 
     /// Histogram of node labels as `(label, count)` pairs sorted by label.
@@ -184,7 +193,12 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(|V|={}, |E|={})", self.node_count(), self.edge_count())
+        write!(
+            f,
+            "Graph(|V|={}, |E|={})",
+            self.node_count(),
+            self.edge_count()
+        )
     }
 }
 
@@ -205,7 +219,11 @@ impl GraphBuilder {
     /// Starts from a fixed label vector (nodes `0..labels.len()`).
     pub fn with_labels(labels: Vec<Label>) -> Self {
         let n = labels.len();
-        GraphBuilder { labels, adj: vec![Vec::new(); n], edge_count: 0 }
+        GraphBuilder {
+            labels,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Adds a node with the given label and returns its id.
@@ -251,7 +269,11 @@ impl GraphBuilder {
         for ns in &mut self.adj {
             ns.sort_unstable();
         }
-        Graph { labels: self.labels, adj: self.adj, edge_count: self.edge_count }
+        Graph {
+            labels: self.labels,
+            adj: self.adj,
+            edge_count: self.edge_count,
+        }
     }
 }
 
@@ -343,6 +365,9 @@ mod tests {
     fn error_display() {
         assert_eq!(GraphError::UnknownNode(3).to_string(), "unknown node id 3");
         assert_eq!(GraphError::SelfLoop(1).to_string(), "self loop on node 1");
-        assert_eq!(GraphError::DuplicateEdge(1, 2).to_string(), "duplicate edge (1, 2)");
+        assert_eq!(
+            GraphError::DuplicateEdge(1, 2).to_string(),
+            "duplicate edge (1, 2)"
+        );
     }
 }

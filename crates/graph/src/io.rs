@@ -75,7 +75,10 @@ pub fn read_database<R: BufRead>(reader: R) -> Result<Vec<Graph>, ParseError> {
         let mut parts = line.split_whitespace();
         let tag = parts.next().unwrap_or("");
         if tag != "t" {
-            return Err(ParseError::Syntax(lno + 1, format!("expected 't', got {tag:?}")));
+            return Err(ParseError::Syntax(
+                lno + 1,
+                format!("expected 't', got {tag:?}"),
+            ));
         }
         let n: usize = parse_field(&mut parts, lno, "node count")?;
         let m: usize = parse_field(&mut parts, lno, "edge count")?;
@@ -128,7 +131,10 @@ fn expect_tag<'a>(
 ) -> Result<(), ParseError> {
     match parts.next() {
         Some(t) if t == want => Ok(()),
-        other => Err(ParseError::Syntax(lno + 1, format!("expected {want:?}, got {other:?}"))),
+        other => Err(ParseError::Syntax(
+            lno + 1,
+            format!("expected {want:?}, got {other:?}"),
+        )),
     }
 }
 
@@ -164,7 +170,9 @@ mod tests {
     #[test]
     fn roundtrip_database() {
         let mut rng = StdRng::seed_from_u64(9);
-        let db: Vec<Graph> = (0..10).map(|_| molecule_like(&mut rng, 15, 2, 4, 8)).collect();
+        let db: Vec<Graph> = (0..10)
+            .map(|_| molecule_like(&mut rng, 15, 2, 4, 8))
+            .collect();
         let s = write_database(&db);
         let parsed = parse_database(&s).unwrap();
         assert_eq!(parsed, db);

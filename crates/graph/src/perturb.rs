@@ -27,7 +27,12 @@ pub enum EditKind {
 /// Node deletion targets only isolated-able nodes by first removing incident
 /// edges, with each removed edge counted as an edit — so the returned count
 /// remains a valid GED upper bound.
-pub fn perturb<R: Rng + ?Sized>(rng: &mut R, g: &Graph, t: usize, num_labels: u16) -> (Graph, usize) {
+pub fn perturb<R: Rng + ?Sized>(
+    rng: &mut R,
+    g: &Graph,
+    t: usize,
+    num_labels: u16,
+) -> (Graph, usize) {
     let mut labels: Vec<Label> = g.labels().to_vec();
     let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
     let mut applied = 0usize;

@@ -84,8 +84,7 @@ impl WlInterner {
         for it in 1..=l_max {
             let mut next = Vec::with_capacity(n);
             for v in 0..n as NodeId {
-                let neigh: Vec<u32> =
-                    g.neighbors(v).iter().map(|&w| cur[w as usize]).collect();
+                let neigh: Vec<u32> = g.neighbors(v).iter().map(|&w| cur[w as usize]).collect();
                 next.push(self.intern(it, cur[v as usize], neigh));
             }
             labels.push(next.clone());
@@ -168,7 +167,10 @@ mod tests {
         let q = fig2_q();
         let wl = wl_labels(&q, 2);
         for l in 0..=2 {
-            assert_eq!(wl.labels[l][0], wl.labels[l][2], "twins separated at iter {l}");
+            assert_eq!(
+                wl.labels[l][0], wl.labels[l][2],
+                "twins separated at iter {l}"
+            );
         }
     }
 

@@ -96,7 +96,10 @@ impl KMeans {
                 break;
             }
         }
-        KMeans { centroids, assignment }
+        KMeans {
+            centroids,
+            assignment,
+        }
     }
 
     /// Number of clusters.
@@ -133,7 +136,9 @@ mod tests {
     use super::*;
 
     fn blob(center: f32, n: usize) -> Vec<Vec<f32>> {
-        (0..n).map(|i| vec![center + (i as f32) * 0.01, center]).collect()
+        (0..n)
+            .map(|i| vec![center + (i as f32) * 0.01, center])
+            .collect()
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct LearnedRanker<'a> {
 
 impl<'a> LearnedRanker<'a> {
     pub fn new(models: &'a LanModels, ctx: &'a QueryContext, use_cg: bool) -> Self {
-        LearnedRanker { models, ctx, use_cg }
+        LearnedRanker {
+            models,
+            ctx,
+            use_cg,
+        }
     }
 }
 

@@ -78,12 +78,7 @@ impl Default for ModelConfig {
 /// embeddings plus its sum, i.e. the embedder's distance estimate). The
 /// GIN embedder is trained as a distance regressor, so this injects an
 /// explicit learned-distance feature the binary rankers can threshold.
-pub(crate) fn rk_feature(
-    pair: &[f32],
-    h_g: &[f32],
-    q_gin: &[f32],
-    nb_gin: &[f32],
-) -> Vec<f32> {
+pub(crate) fn rk_feature(pair: &[f32], h_g: &[f32], q_gin: &[f32], nb_gin: &[f32]) -> Vec<f32> {
     let mut feat = Vec::with_capacity(pair.len() + h_g.len() + nb_gin.len() + 1);
     feat.extend_from_slice(pair);
     feat.extend_from_slice(h_g);
@@ -103,22 +98,35 @@ pub(crate) fn rk_feature_dim(embed_dim: usize) -> usize {
 }
 
 /// Accumulates time spent inside GNN inference (for the Fig. 11 breakdown).
+///
+/// Keyed per thread so parallel query batches sharing one `LanModels` keep
+/// independent per-query accounting: a query runs `reset` → inference →
+/// `total` entirely on its worker thread, so concurrent queries never see
+/// each other's time. (A query's own GNN calls all happen on its thread —
+/// the intra-query parallel sections only evaluate GED distances.)
 #[derive(Debug, Default)]
 pub struct GnnTimer {
-    total: RefCell<Duration>,
+    per_thread: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, Duration>>,
 }
 
 impl GnnTimer {
     pub fn add(&self, d: Duration) {
-        *self.total.borrow_mut() += d;
+        let mut map = self.per_thread.lock().unwrap();
+        *map.entry(std::thread::current().id()).or_default() += d;
     }
 
+    /// Time accumulated on the calling thread since its last `reset`.
     pub fn total(&self) -> Duration {
-        *self.total.borrow()
+        let map = self.per_thread.lock().unwrap();
+        map.get(&std::thread::current().id())
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 
+    /// Clears the calling thread's accumulator only.
     pub fn reset(&self) {
-        *self.total.borrow_mut() = Duration::ZERO;
+        let mut map = self.per_thread.lock().unwrap();
+        map.remove(&std::thread::current().id());
     }
 }
 
@@ -200,7 +208,10 @@ impl LanModels {
         let gcfg = GnnConfig::uniform(num_labels, cfg.embed_dim, cfg.layers);
 
         // --- γ*: the paper's covering rule. ---
-        let cover_k = cfg.nh_cover_k.min(dataset.graphs.len().saturating_sub(1)).max(1);
+        let cover_k = cfg
+            .nh_cover_k
+            .min(dataset.graphs.len().saturating_sub(1))
+            .max(1);
         let mut kth: Vec<f64> = train_dists
             .iter()
             .map(|ds| {
@@ -217,11 +228,9 @@ impl LanModels {
         let mut gin_store = ParamStore::new();
         let gin = Gin::new(&mut rng, &mut gin_store, gcfg.clone());
         train_embedder(dataset, train_dists, &gin, &mut gin_store, &cfg, &mut rng);
-        let db_embeds: Vec<Vec<f32>> = dataset
-            .graphs
-            .iter()
-            .map(|g| gin.embed(&gin_store, g).data().to_vec())
-            .collect();
+        let db_embeds: Vec<Vec<f32>> = lan_par::par_map(&dataset.graphs, |g| {
+            gin.embed(&gin_store, g).data().to_vec()
+        });
 
         // --- KMeans over embeddings. ---
         let kmeans = KMeans::fit(&db_embeds, cfg.clusters, 50, cfg.seed ^ 0x5eed);
@@ -240,7 +249,7 @@ impl LanModels {
             &[2 * cfg.embed_dim, cfg.mlp_hidden, 1],
         );
         let db_inputs_plain: Vec<CrossInput> =
-            dataset.graphs.iter().map(|g| CrossInput::plain(g, &gcfg)).collect();
+            lan_par::par_map(&dataset.graphs, |g| CrossInput::plain(g, &gcfg));
         let nh_loss = train_nh(
             dataset,
             train_dists,
@@ -260,7 +269,11 @@ impl LanModels {
         let nr = Self::num_rankers(&cfg);
         let rk_heads: Vec<Mlp> = (0..nr)
             .map(|_| {
-                Mlp::new(&mut rng, &mut rk_store, &[rk_feature_dim(cfg.embed_dim), cfg.mlp_hidden, 1])
+                Mlp::new(
+                    &mut rng,
+                    &mut rk_store,
+                    &[rk_feature_dim(cfg.embed_dim), cfg.mlp_hidden, 1],
+                )
             })
             .collect();
         let rk_loss = train_rk(
@@ -283,7 +296,11 @@ impl LanModels {
 
         // --- M_c: per-cluster intersection-size regression. ---
         let mut mc_store = ParamStore::new();
-        let mc_head = Mlp::new(&mut rng, &mut mc_store, &[2 * cfg.embed_dim, cfg.mlp_hidden, 1]);
+        let mc_head = Mlp::new(
+            &mut rng,
+            &mut mc_store,
+            &[2 * cfg.embed_dim, cfg.mlp_hidden, 1],
+        );
         train_mc(
             dataset,
             train_dists,
@@ -299,13 +316,11 @@ impl LanModels {
         );
 
         // --- Precompute database CGs (paper §VI-C: one-off). ---
-        let db_cgs: Vec<CompressedGnnGraph> = dataset
-            .graphs
-            .iter()
-            .map(|g| CompressedGnnGraph::build(g, cfg.layers))
-            .collect();
+        let db_cgs: Vec<CompressedGnnGraph> = lan_par::par_map(&dataset.graphs, |g| {
+            CompressedGnnGraph::build(g, cfg.layers)
+        });
         let db_inputs_cg: Vec<CrossInput> =
-            db_cgs.iter().map(|cg| CrossInput::compressed(cg, &gcfg)).collect();
+            lan_par::par_map(&db_cgs, |cg| CrossInput::compressed(cg, &gcfg));
 
         let models = LanModels {
             cfg,
@@ -331,8 +346,13 @@ impl LanModels {
         // --- Validation precision of M_nh (Fig. 8). ---
         let (nh_precision, nh_recall) = models.nh_precision_on(dataset, &dataset.split.val);
 
-        let report =
-            TrainReport { gamma_star, nh_precision, nh_recall, nh_loss, rk_loss };
+        let report = TrainReport {
+            gamma_star,
+            nh_precision,
+            nh_recall,
+            nh_loss,
+            rk_loss,
+        };
         (models, report)
     }
 
@@ -360,7 +380,11 @@ impl LanModels {
         };
         let gin_embed = self.embed(q);
         self.gnn_timer.add(t0.elapsed());
-        QueryContext { input, gin_embed, pair_cache: RefCell::new(Default::default()) }
+        QueryContext {
+            input,
+            gin_embed,
+            pair_cache: RefCell::new(Default::default()),
+        }
     }
 
     /// The cross-graph pair embedding `h_G ‖ h_Q` for database graph `g`.
@@ -376,7 +400,9 @@ impl LanModels {
             &self.db_inputs_plain[g as usize]
         };
         let mut tape = Tape::new();
-        let out = self.cross.forward(&mut tape, &self.cross_store, gi, &ctx.input);
+        let out = self
+            .cross
+            .forward(&mut tape, &self.cross_store, gi, &ctx.input);
         let v = tape.value(out.h_pair).data().to_vec();
         self.gnn_timer.add(t0.elapsed());
         ctx.pair_cache.borrow_mut().insert(g, v.clone());
@@ -493,15 +519,16 @@ impl LanModels {
     }
 
     /// `M_nh` precision/recall over the given query indices (Fig. 8).
+    /// Queries are evaluated in parallel — each one's prediction and GED
+    /// ground-truth scan are independent, and the summed counts are
+    /// order-free, so the result is identical to a sequential evaluation.
     pub fn nh_precision_on(&self, dataset: &Dataset, query_idx: &[usize]) -> (f64, f64) {
-        let mut tp = 0usize;
-        let mut fp = 0usize;
-        let mut fn_ = 0usize;
-        for &qi in query_idx {
+        let counts: Vec<(usize, usize, usize)> = lan_par::par_map(query_idx, |&qi| {
             let q = &dataset.queries[qi];
             let ctx = self.query_context(q, true);
             let pred = self.predicted_neighborhood_basic(&ctx, true);
             let pred_set: std::collections::HashSet<u32> = pred.iter().copied().collect();
+            let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
             for g in 0..dataset.graphs.len() as u32 {
                 let truth = dataset.distance(q, g) <= self.gamma_star;
                 let predicted = pred_set.contains(&g);
@@ -512,9 +539,21 @@ impl LanModels {
                     (false, false) => {}
                 }
             }
-        }
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+            (tp, fp, fn_)
+        });
+        let (tp, fp, fn_) = counts
+            .into_iter()
+            .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z));
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         (precision, recall)
     }
 }
@@ -679,11 +718,13 @@ fn train_rk(
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             });
-            for (rank, &nb) in ranked.iter().enumerate() {
-                // Pair embedding from the frozen encoder.
+            // Pair embeddings come from the frozen encoder, so every
+            // neighbor's feature is independent — build them in parallel,
+            // order-preserving (rank = position in `ranked`).
+            samples.extend(lan_par::par_map_indices(ranked.len(), |rank| {
+                let nb = ranked[rank];
                 let mut tape = Tape::new();
-                let out =
-                    cross.forward(&mut tape, cross_store, &db_inputs[nb as usize], &q_input);
+                let out = cross.forward(&mut tape, cross_store, &db_inputs[nb as usize], &q_input);
                 let pair = tape.value(out.h_pair).data().to_vec();
                 let feat = rk_feature(
                     &pair,
@@ -691,8 +732,12 @@ fn train_rk(
                     &q_gin,
                     &db_embeds[nb as usize],
                 );
-                samples.push(RkSample { feat, rank, total: ranked.len() });
-            }
+                RkSample {
+                    feat,
+                    rank,
+                    total: ranked.len(),
+                }
+            }));
         }
     }
     if samples.is_empty() {
@@ -759,7 +804,10 @@ fn train_mc(
             if ms.is_empty() {
                 continue;
             }
-            let inter = ms.iter().filter(|&&g| dists[g as usize] <= gamma_star).count();
+            let inter = ms
+                .iter()
+                .filter(|&&g| dists[g as usize] <= gamma_star)
+                .count();
             let target = inter as f32 / ms.len() as f32;
             let mut input = kmeans.centroids[c].clone();
             input.extend_from_slice(&qe);

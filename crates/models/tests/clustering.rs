@@ -20,7 +20,9 @@ fn setup() -> (Dataset, LanModels) {
         .train
         .iter()
         .map(|&qi| {
-            (0..ds.graphs.len() as u32).map(|g| ds.distance(&ds.queries[qi], g)).collect()
+            (0..ds.graphs.len() as u32)
+                .map(|g| ds.distance(&ds.queries[qi], g))
+                .collect()
         })
         .collect();
     let cfg = ModelConfig {
@@ -46,11 +48,16 @@ fn cluster_design_properties() {
     // the selected clusters — it can drop graphs but never invent them.
     for &qi in ds.split.test.iter().take(3) {
         let ctx = models.query_context(&ds.queries[qi], true);
-        let basic: std::collections::HashSet<u32> =
-            models.predicted_neighborhood_basic(&ctx, true).into_iter().collect();
+        let basic: std::collections::HashSet<u32> = models
+            .predicted_neighborhood_basic(&ctx, true)
+            .into_iter()
+            .collect();
         let clustered = models.predicted_neighborhood(&ctx, true);
         for g in clustered {
-            assert!(basic.contains(&g), "cluster design predicted {g} outside basic set");
+            assert!(
+                basic.contains(&g),
+                "cluster design predicted {g} outside basic set"
+            );
         }
     }
 
@@ -69,7 +76,9 @@ fn cluster_design_properties() {
 
     // M_c scores are finite.
     let ctx = models.query_context(&ds.queries[0], true);
-    let scores: Vec<f32> = (0..models.kmeans.k()).map(|c| models.mc_score(&ctx, c)).collect();
+    let scores: Vec<f32> = (0..models.kmeans.k())
+        .map(|c| models.mc_score(&ctx, c))
+        .collect();
     assert!(scores.iter().all(|s| s.is_finite()));
     // Not all clusters should look identical to a trained M_c.
     let spread = scores.iter().cloned().fold(f32::MIN, f32::max)

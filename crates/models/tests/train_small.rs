@@ -94,7 +94,12 @@ fn training_pipeline_end_to_end() {
     // blow up NDC beyond the baseline (it may explore slightly differently).
     let cache_bs = DistCache::new(&qd);
     let bs = beam_search(pg.base(), &cache_bs, &[entry], 8, 5);
-    assert!(res.ndc <= bs.ndc * 2, "np ndc {} vs baseline {}", res.ndc, bs.ndc);
+    assert!(
+        res.ndc <= bs.ndc * 2,
+        "np ndc {} vs baseline {}",
+        res.ndc,
+        bs.ndc
+    );
 
     // GNN timer accumulated inference time.
     assert!(models.gnn_timer.total().as_nanos() > 0);

@@ -1,0 +1,172 @@
+//! Scoped-thread parallelism helpers shared by every LAN crate.
+//!
+//! The LAN cost model is dominated by expensive distance (GED) calls and
+//! GNN forward passes, which makes the workload embarrassingly parallel
+//! across shards, queries, and construction candidates. These helpers put
+//! that parallelism behind two order-preserving primitives built on
+//! `std::thread::scope` — no external dependencies, no global pool, no
+//! `unsafe`.
+//!
+//! * [`par_map`] — map a function over a slice, preserving input order;
+//! * [`par_map_indices`] — the `0..n` index variant;
+//! * [`par_chunks`] — hand each worker a contiguous sub-slice.
+//!
+//! Thread count comes from [`num_threads`]: the `LAN_THREADS` environment
+//! variable when set (any positive integer; `1` forces every helper into
+//! its serial fallback), otherwise [`std::thread::available_parallelism`].
+//! The variable is re-read on every call so tests and benchmarks can flip
+//! it at runtime.
+//!
+//! Determinism contract: all helpers return results in input order, so a
+//! pure `f` yields output identical to the serial `items.iter().map(f)` —
+//! the property the parallel == sequential equivalence tests in `lan-core`
+//! rely on.
+
+/// Worker count used by the helpers: `LAN_THREADS` env override when set
+/// (clamped to at least 1), else the host's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("LAN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Parallel, order-preserving map over a slice.
+///
+/// Splits `items` into one contiguous chunk per worker; falls back to a
+/// plain serial map when a single worker suffices. Panics in `f` propagate.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
+
+/// [`par_map`] over the index range `0..n`.
+pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    par_map(&idx, |&i| f(i))
+}
+
+/// Hands each worker one contiguous chunk of `items` (with the chunk's
+/// starting offset) and concatenates the per-chunk outputs in order.
+///
+/// Use this instead of [`par_map`] when per-item closures would waste work
+/// that a worker can share across its whole chunk (e.g. batch accumulators).
+pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return f(0, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, c)| s.spawn(move || f(ci * chunk, c)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_chunks worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u32> = (0..101).collect();
+        let out = par_map(&items, |&x| x * 2);
+        let serial: Vec<u32> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn par_map_runs_every_item_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = par_map(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x: &u32| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x * 3), vec![21]);
+    }
+
+    #[test]
+    fn par_map_indices_matches_range() {
+        let out = par_map_indices(10, |i| i * i);
+        let serial: Vec<usize> = (0..10).map(|i| i * i).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let out = par_chunks(&items, |offset, c| {
+            c.iter()
+                .enumerate()
+                .map(|(i, &x)| (offset + i, x))
+                .collect()
+        });
+        for (i, &(idx, x)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    // The only test that mutates LAN_THREADS (env vars are process-wide;
+    // the other tests must stay env-agnostic to avoid races).
+    #[test]
+    fn lan_threads_env_override() {
+        std::env::set_var("LAN_THREADS", "1");
+        assert_eq!(num_threads(), 1);
+        let items: Vec<u32> = (0..20).collect();
+        assert_eq!(par_map(&items, |&x| x + 1).len(), 20);
+        std::env::set_var("LAN_THREADS", "4");
+        assert_eq!(num_threads(), 4);
+        std::env::remove_var("LAN_THREADS");
+    }
+}

@@ -28,7 +28,12 @@ pub struct PgConfig {
 impl PgConfig {
     /// Sensible defaults for databases of hundreds to thousands of graphs.
     pub fn new(m: usize) -> Self {
-        PgConfig { m, ef_construction: 4 * m, ml: 1.0 / (m as f64).ln().max(0.5), seed: 0x1a4 }
+        PgConfig {
+            m,
+            ef_construction: 4 * m,
+            ml: 1.0 / (m as f64).ln().max(0.5),
+            seed: 0x1a4,
+        }
     }
 }
 
@@ -137,21 +142,31 @@ impl ProximityGraph {
                     }
                 }
             }
-            let unreached: Vec<u32> =
-                (0..n as u32).filter(|&v| !reached[v as usize]).collect();
+            let unreached: Vec<u32> = (0..n as u32).filter(|&v| !reached[v as usize]).collect();
             if unreached.is_empty() {
                 break;
             }
             // Cheapest bridge from the unreached set into the reached set.
-            let mut best: Option<(f64, u32, u32)> = None;
-            for &u in &unreached {
+            // Each unreached node's row scan is independent; rows evaluate
+            // in parallel and the final reduction keeps the sequential
+            // tie-breaking (first strict improvement in (u, v) order).
+            let reached_ref = &reached;
+            let row_best: Vec<Option<(f64, u32, u32)>> = lan_par::par_map(&unreached, |&u| {
+                let mut best: Option<(f64, u32, u32)> = None;
                 for v in 0..n as u32 {
-                    if reached[v as usize] {
+                    if reached_ref[v as usize] {
                         let d = pairs.get(u, v);
                         if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
                             best = Some((d, u, v));
                         }
                     }
+                }
+                best
+            });
+            let mut best: Option<(f64, u32, u32)> = None;
+            for b in row_best.into_iter().flatten() {
+                if best.map(|(bd, _, _)| b.0 < bd).unwrap_or(true) {
+                    best = Some(b);
                 }
             }
             let (_, u, v) = best.expect("reached set is never empty");
@@ -161,7 +176,11 @@ impl ProximityGraph {
             layers[0][v as usize].sort_unstable();
         }
 
-        ProximityGraph { layers, levels, entry }
+        ProximityGraph {
+            layers,
+            levels,
+            entry,
+        }
     }
 
     /// The base-layer adjacency LAN routes on.
@@ -249,13 +268,21 @@ fn greedy_step_to_min(layer: &[Vec<u32>], start: u32, dist: impl Fn(u32) -> f64)
 
 /// ef-limited best-first search within one layer; returns candidates sorted
 /// by `(distance, id)`.
+///
+/// The candidate-distance evaluations of each expansion are batched through
+/// `lan-par` — with an expensive metric (GED) the per-expansion fan of up
+/// to `2m` distances dominates construction time and parallelizes with no
+/// change in behavior: distances are pure, and admission decisions are
+/// replayed sequentially in neighbor order afterwards.
 fn search_layer(
     layer: &[Vec<u32>],
     entry: u32,
     ef: usize,
-    dist: impl Fn(u32) -> f64,
+    dist: impl Fn(u32) -> f64 + Sync,
 ) -> Vec<(f64, u32)> {
     use std::collections::HashSet;
+    // Spawning scoped workers is only worth it for a decent fan-out.
+    const MIN_PAR_BATCH: usize = 4;
     let mut visited: HashSet<u32> = HashSet::new();
     visited.insert(entry);
     let mut results: Vec<(f64, u32)> = vec![(dist(entry), entry)];
@@ -275,24 +302,29 @@ fn search_layer(
         if results.len() >= ef && d > worst {
             break;
         }
-        for &nb in &layer[v as usize] {
-            if visited.insert(nb) {
-                let nd = dist(nb);
-                if results.len() < ef || nd < worst {
-                    results.push((nd, nb));
-                    frontier.push((nd, nb));
-                    if results.len() > ef {
-                        // Drop the worst.
-                        let worst_i = results
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| {
-                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
-                            })
-                            .map(|(i, _)| i)
-                            .unwrap();
-                        results.swap_remove(worst_i);
-                    }
+        let fresh: Vec<u32> = layer[v as usize]
+            .iter()
+            .copied()
+            .filter(|&nb| visited.insert(nb))
+            .collect();
+        let dists: Vec<f64> = if fresh.len() >= MIN_PAR_BATCH {
+            lan_par::par_map(&fresh, |&nb| dist(nb))
+        } else {
+            fresh.iter().map(|&nb| dist(nb)).collect()
+        };
+        for (&nb, &nd) in fresh.iter().zip(&dists) {
+            if results.len() < ef || nd < worst {
+                results.push((nd, nb));
+                frontier.push((nd, nb));
+                if results.len() > ef {
+                    // Drop the worst.
+                    let worst_i = results
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    results.swap_remove(worst_i);
                 }
             }
         }
@@ -306,8 +338,10 @@ fn search_layer(
 }
 
 /// Exhaustive k-NN scan — the brute-force reference used to measure recall.
+/// The scan parallelizes over the database (distances are independent).
 pub fn brute_force_knn(n: usize, query: &dyn QueryDistance, k: usize) -> Vec<(f64, u32)> {
-    let mut all: Vec<(f64, u32)> = (0..n as u32).map(|i| (query.distance(i), i)).collect();
+    let mut all: Vec<(f64, u32)> =
+        lan_par::par_map_indices(n, |i| (query.distance(i as u32), i as u32));
     all.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -338,7 +372,7 @@ mod tests {
         let cache = PairCache::new(&f);
         let pg = ProximityGraph::build(100, &cache, &PgConfig::new(6));
         // BFS from entry over base layer reaches everyone.
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         let mut stack = vec![pg.entry];
         seen[pg.entry as usize] = true;
         let mut cnt = 1;
@@ -364,7 +398,11 @@ mod tests {
         for (l, layer) in pg.layers.iter().enumerate() {
             let cap = if l == 0 { 2 * cfg.m } else { cfg.m };
             for ns in layer {
-                assert!(ns.len() <= cap + 1, "layer {l} degree {} > cap {cap}", ns.len());
+                assert!(
+                    ns.len() <= cap + 1,
+                    "layer {l} degree {} > cap {cap}",
+                    ns.len()
+                );
             }
         }
     }
@@ -387,8 +425,7 @@ mod tests {
             let dc = DistCache::new(&qd);
             let entry = pg.hnsw_entry(&dc);
             let res = beam_search(pg.base(), &dc, &[entry], 20, 10);
-            let truth_ids: std::collections::HashSet<u32> =
-                truth.iter().map(|&(_, i)| i).collect();
+            let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|&(_, i)| i).collect();
             let hit = res.ids().iter().filter(|i| truth_ids.contains(i)).count();
             total_recall += hit as f64 / 10.0;
         }
@@ -410,9 +447,11 @@ mod tests {
         // The selected entry should be much closer than a random node on
         // average.
         let entry_d = (pts[entry as usize] - q).abs();
-        let mean_d: f64 =
-            (0..150).map(|i| (pts[i] - q).abs()).sum::<f64>() / 150.0;
-        assert!(entry_d < mean_d, "entry {entry_d} not better than mean {mean_d}");
+        let mean_d: f64 = (0..150).map(|i| (pts[i] - q).abs()).sum::<f64>() / 150.0;
+        assert!(
+            entry_d < mean_d,
+            "entry {entry_d} not better than mean {mean_d}"
+        );
         assert!(dc.ndc() > 0, "descent must cost counted distances");
     }
 

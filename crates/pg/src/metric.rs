@@ -5,16 +5,38 @@
 //! distance through a [`DistCache`], which memoizes per query (computing
 //! `d(Q, G)` twice would be a wasted NP-hard computation no real system
 //! performs) and counts unique computations. NDC = cache misses.
+//!
+//! Both caches are **thread-safe**: the map is lock-striped (keys hash to
+//! one of [`STRIPES`] independent `Mutex<HashMap>` shards) and the NDC
+//! counter is atomic, so concurrent routing, construction workers, and
+//! parallel shard searches can share one cache. A stripe's lock is held
+//! *while the distance is computed*, which preserves the sequential
+//! guarantee that each key is computed **at most once** — two threads
+//! racing on the same id serialize on the stripe and the loser reads the
+//! winner's cached value. Distinct keys almost always land on distinct
+//! stripes and compute truly concurrently.
 
-use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent lock stripes per cache. More stripes = less
+/// contention between concurrent misses on distinct keys; 64 keeps the
+/// collision probability low for the ≤ `2m`-sized candidate batches the
+/// parallel construction evaluates at once.
+const STRIPES: usize = 64;
 
 /// Distance from the current query to database object `id`.
-pub trait QueryDistance {
+///
+/// `Sync` is a supertrait: oracles are shared across the scoped worker
+/// threads of `lan-par`, so any interior state they carry must be
+/// thread-safe (use atomics, not `RefCell`, for counters and timers).
+pub trait QueryDistance: Sync {
     fn distance(&self, id: u32) -> f64;
 }
 
-impl<F: Fn(u32) -> f64> QueryDistance for F {
+impl<F: Fn(u32) -> f64 + Sync> QueryDistance for F {
     fn distance(&self, id: u32) -> f64 {
         self(id)
     }
@@ -23,75 +45,110 @@ impl<F: Fn(u32) -> f64> QueryDistance for F {
 /// Memoizing, counting wrapper around a [`QueryDistance`]. One per query.
 pub struct DistCache<'a> {
     inner: &'a dyn QueryDistance,
-    cache: RefCell<HashMap<u32, f64>>,
-    ndc: RefCell<usize>,
+    stripes: Vec<Mutex<HashMap<u32, f64>>>,
+    ndc: AtomicUsize,
 }
 
 impl<'a> DistCache<'a> {
     /// Wraps a query-distance oracle.
     pub fn new(inner: &'a dyn QueryDistance) -> Self {
-        DistCache { inner, cache: RefCell::new(HashMap::new()), ndc: RefCell::new(0) }
+        DistCache {
+            inner,
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            ndc: AtomicUsize::new(0),
+        }
     }
 
-    /// The distance from the query to `id`, computed at most once.
+    fn stripe(&self, id: u32) -> &Mutex<HashMap<u32, f64>> {
+        &self.stripes[id as usize % STRIPES]
+    }
+
+    /// The distance from the query to `id`, computed at most once — even
+    /// under concurrent access (the stripe lock covers the computation).
     pub fn get(&self, id: u32) -> f64 {
-        if let Some(&d) = self.cache.borrow().get(&id) {
-            return d;
+        let mut map = self.stripe(id).lock().expect("stripe poisoned");
+        match map.entry(id) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let d = self.inner.distance(id);
+                e.insert(d);
+                self.ndc.fetch_add(1, Ordering::Relaxed);
+                d
+            }
         }
-        let d = self.inner.distance(id);
-        self.cache.borrow_mut().insert(id, d);
-        *self.ndc.borrow_mut() += 1;
-        d
     }
 
     /// The cached distance, if this object's distance was ever computed.
     pub fn peek(&self, id: u32) -> Option<f64> {
-        self.cache.borrow().get(&id).copied()
+        self.stripe(id)
+            .lock()
+            .expect("stripe poisoned")
+            .get(&id)
+            .copied()
     }
 
     /// Number of unique distance computations so far (the paper's NDC).
     pub fn ndc(&self) -> usize {
-        *self.ndc.borrow()
+        self.ndc.load(Ordering::Relaxed)
     }
 }
 
 /// Symmetric pairwise distance between database objects (used at index
-/// construction time).
-pub trait PairDistance {
+/// construction time). `Sync` for the same reason as [`QueryDistance`].
+pub trait PairDistance: Sync {
     fn distance(&self, a: u32, b: u32) -> f64;
 }
 
-impl<F: Fn(u32, u32) -> f64> PairDistance for F {
+impl<F: Fn(u32, u32) -> f64 + Sync> PairDistance for F {
     fn distance(&self, a: u32, b: u32) -> f64 {
         self(a, b)
     }
 }
 
+/// Packs a symmetric `(u32, u32)` pair into one `u64` key (`min` in the
+/// high half) — one word to hash instead of a two-field tuple.
+fn pack_pair(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
 /// Memoizing wrapper for construction-time pair distances (symmetric keys).
 pub struct PairCache<'a> {
     inner: &'a dyn PairDistance,
-    cache: RefCell<HashMap<(u32, u32), f64>>,
-    computed: RefCell<usize>,
+    stripes: Vec<Mutex<HashMap<u64, f64>>>,
+    computed: AtomicUsize,
 }
 
 impl<'a> PairCache<'a> {
     pub fn new(inner: &'a dyn PairDistance) -> Self {
-        PairCache { inner, cache: RefCell::new(HashMap::new()), computed: RefCell::new(0) }
+        PairCache {
+            inner,
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            computed: AtomicUsize::new(0),
+        }
     }
 
+    /// `d(a, b) = d(b, a)`, computed at most once per unordered pair — even
+    /// under concurrent access (the stripe lock covers the computation).
     pub fn get(&self, a: u32, b: u32) -> f64 {
-        let key = (a.min(b), a.max(b));
-        if let Some(&d) = self.cache.borrow().get(&key) {
-            return d;
+        let key = pack_pair(a, b);
+        // Mix both halves so stripes don't degenerate when one endpoint is
+        // fixed (the inner loops of construction probe (v, *) fans).
+        let stripe = ((key ^ (key >> 32)) as usize) % STRIPES;
+        let mut map = self.stripes[stripe].lock().expect("stripe poisoned");
+        match map.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let d = self.inner.distance((key >> 32) as u32, key as u32);
+                e.insert(d);
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                d
+            }
         }
-        let d = self.inner.distance(key.0, key.1);
-        self.cache.borrow_mut().insert(key, d);
-        *self.computed.borrow_mut() += 1;
-        d
     }
 
     pub fn computed(&self) -> usize {
-        *self.computed.borrow()
+        self.computed.load(Ordering::Relaxed)
     }
 }
 
@@ -101,9 +158,9 @@ mod tests {
 
     #[test]
     fn caches_and_counts() {
-        let calls = RefCell::new(0usize);
+        let calls = AtomicUsize::new(0);
         let f = |id: u32| {
-            *calls.borrow_mut() += 1;
+            calls.fetch_add(1, Ordering::Relaxed);
             id as f64 * 2.0
         };
         let cache = DistCache::new(&f);
@@ -111,21 +168,76 @@ mod tests {
         assert_eq!(cache.get(3), 6.0);
         assert_eq!(cache.get(4), 8.0);
         assert_eq!(cache.ndc(), 2);
-        assert_eq!(*calls.borrow(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.peek(3), Some(6.0));
         assert_eq!(cache.peek(9), None);
     }
 
     #[test]
     fn pair_cache_symmetric() {
-        let calls = RefCell::new(0usize);
+        let calls = AtomicUsize::new(0);
         let f = |a: u32, b: u32| {
-            *calls.borrow_mut() += 1;
+            calls.fetch_add(1, Ordering::Relaxed);
             (a + b) as f64
         };
         let cache = PairCache::new(&f);
         assert_eq!(cache.get(1, 2), 3.0);
         assert_eq!(cache.get(2, 1), 3.0);
         assert_eq!(cache.computed(), 1);
+    }
+
+    #[test]
+    fn pack_pair_is_symmetric_and_injective() {
+        assert_eq!(pack_pair(1, 2), pack_pair(2, 1));
+        assert_ne!(pack_pair(1, 2), pack_pair(1, 3));
+        assert_ne!(pack_pair(0, 1), pack_pair(1, 1));
+        assert_eq!(pack_pair(u32::MAX, 0), pack_pair(0, u32::MAX));
+    }
+
+    #[test]
+    fn concurrent_get_computes_each_id_once() {
+        let calls = AtomicUsize::new(0);
+        let f = |id: u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            id as f64
+        };
+        let cache = DistCache::new(&f);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for id in 0..100u32 {
+                        assert_eq!(cache.get(id), id as f64);
+                    }
+                });
+            }
+        });
+        // Every one of the 4 threads asks for all 100 ids; each id must
+        // have been computed exactly once.
+        assert_eq!(cache.ndc(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_pair_get_computes_each_pair_once() {
+        let calls = AtomicUsize::new(0);
+        let f = |a: u32, b: u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (a * 31 + b) as f64
+        };
+        let cache = PairCache::new(&f);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for a in 0..20u32 {
+                        for b in 0..20u32 {
+                            let _ = cache.get(a, b);
+                        }
+                    }
+                });
+            }
+        });
+        // 20×20 symmetric grid → 20 diagonal + 190 off-diagonal pairs.
+        assert_eq!(cache.computed(), 210);
+        assert_eq!(calls.load(Ordering::Relaxed), 210);
     }
 }

@@ -114,7 +114,10 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
         {
             let (opened, opened_members): (usize, Vec<u32>) = {
                 let st = self.batch_state(g);
-                (st.opened, st.batches[..st.opened].iter().flatten().copied().collect())
+                (
+                    st.opened,
+                    st.batches[..st.opened].iter().flatten().copied().collect(),
+                )
             };
             let mut farthest = f64::NEG_INFINITY;
             for nb in opened_members {
@@ -245,8 +248,7 @@ pub fn np_route<R: NeighborRanker>(
     }
 
     // --- Stage 1: greedy descent to the first local optimum (lines 5-11).
-    loop {
-        let Some(g) = r.w.min_entry() else { break };
+    while let Some(g) = r.w.min_entry() {
         if r.state.is_explored(g.id) {
             break;
         }
@@ -350,7 +352,7 @@ mod tests {
             let entry = rng.gen_range(0..n) as u32;
             let b = rng.gen_range(1..6);
             let k = rng.gen_range(1..=b);
-            let y = *[10usize, 20, 30, 50].iter().nth(trial % 4).unwrap();
+            let y = *[10usize, 20, 30, 50].get(trial % 4).unwrap();
             let (bs, np) = run_both(&adj, &dists, entry, b, k, y);
             assert_eq!(
                 bs.results, np.results,
@@ -442,8 +444,15 @@ mod tests {
         for l in &mut adj {
             l.sort_unstable();
         }
-        let dists: Vec<f64> =
-            (0..n).map(|i| if i <= 5 { (5 - i) as f64 } else { 50.0 + i as f64 }).collect();
+        let dists: Vec<f64> = (0..n)
+            .map(|i| {
+                if i <= 5 {
+                    (5 - i) as f64
+                } else {
+                    50.0 + i as f64
+                }
+            })
+            .collect();
         let (bs, np) = run_both(&adj, &dists, 0, 2, 1, 10);
         assert_eq!(bs.results, np.results);
         assert!(
@@ -470,8 +479,14 @@ mod tests {
 
     #[test]
     fn chunk_batches_sizes() {
-        assert_eq!(chunk_batches(vec![1, 2, 3, 4], 30), vec![vec![1], vec![2], vec![3], vec![4]]);
-        assert_eq!(chunk_batches(vec![1, 2, 3, 4], 50), vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(
+            chunk_batches(vec![1, 2, 3, 4], 30),
+            vec![vec![1], vec![2], vec![3], vec![4]]
+        );
+        assert_eq!(
+            chunk_batches(vec![1, 2, 3, 4], 50),
+            vec![vec![1, 2], vec![3, 4]]
+        );
         assert_eq!(chunk_batches(vec![1, 2, 3], 100), vec![vec![1, 2, 3]]);
         assert!(chunk_batches(vec![], 20).is_empty());
         assert_eq!(chunk_batches(vec![9], 20), vec![vec![9]]);

@@ -222,8 +222,7 @@ mod range_tests {
     #[test]
     fn range_search_collects_ball() {
         // Path 0-1-2-3-4 with distances 4,3,2,1,0: tau = 2 collects {2,3,4}.
-        let adj: Vec<Vec<u32>> =
-            vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
+        let adj: Vec<Vec<u32>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
         let f = |id: u32| (4 - id) as f64;
         let cache = DistCache::new(&f);
         let hits = range_search(&adj, &cache, &[0], 2.0, 1.0);

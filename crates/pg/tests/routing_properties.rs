@@ -110,12 +110,14 @@ fn index_recall_scales_with_beam() {
             let dc = DistCache::new(&qd);
             let entry = pg.hnsw_entry(&dc);
             let res = beam_search(pg.base(), &dc, &[entry], b, 10);
-            let t_ids: std::collections::HashSet<u32> =
-                truth.iter().map(|&(_, i)| i).collect();
+            let t_ids: std::collections::HashSet<u32> = truth.iter().map(|&(_, i)| i).collect();
             total += res.ids().iter().filter(|i| t_ids.contains(i)).count() as f64 / 10.0;
         }
         let recall = total / 10.0;
-        assert!(recall >= prev_recall - 0.05, "recall regressed with beam {b}");
+        assert!(
+            recall >= prev_recall - 0.05,
+            "recall regressed with beam {b}"
+        );
         prev_recall = recall;
     }
     assert!(prev_recall > 0.95, "recall at b=160 too low: {prev_recall}");

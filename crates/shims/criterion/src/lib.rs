@@ -1,0 +1,248 @@
+//! Hermetic stand-in for the subset of crates.io `criterion` 0.5 this
+//! workspace uses — the build container has no network access, so external
+//! crates are replaced by local shims via `[patch.crates-io]`.
+//!
+//! Implemented surface (checked against every bench in `crates/bench`):
+//! `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId::{new,
+//! from_parameter}`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed iterations; mean and min wall-clock per iteration
+//! are printed to stdout. No statistics beyond that, no HTML reports, no
+//! CLI filtering — just enough to run `cargo bench` offline and get
+//! honest timings.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `routine` (after 3 warm-up runs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<48} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, label));
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkLabel>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into().0;
+        self.run(label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkLabel>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.into().0;
+        self.run(label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s at bench call sites.
+pub struct BenchmarkLabel(String);
+
+impl From<&str> for BenchmarkLabel {
+    fn from(s: &str) -> Self {
+        BenchmarkLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkLabel {
+    fn from(s: String) -> Self {
+        BenchmarkLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkLabel(id.label)
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkLabel>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into().0;
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 64).label, "build/64");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u32;
+        group.bench_function("inc", |b| {
+            b.iter(|| count += 1);
+        });
+        group.finish();
+        // 3 warm-up + 5 timed iterations.
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn group_sample_size_overrides_config() {
+        let mut c = Criterion::default().sample_size(50);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut count = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| count += x);
+        });
+        // (3 warm-up + 2 timed) * 7.
+        assert_eq!(count, 35);
+    }
+}

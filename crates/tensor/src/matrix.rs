@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// All-ones matrix.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![1.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// From a row-major vector. Panics on length mismatch.
@@ -104,7 +112,13 @@ impl Matrix {
 
     /// Matrix product `self @ rhs`. Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?} x {:?}", self.shape(), rhs.shape());
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -136,8 +150,17 @@ impl Matrix {
     /// Elementwise sum. Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += rhs`.
@@ -151,27 +174,53 @@ impl Matrix {
     /// Elementwise difference.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul_elem(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "mul_elem shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.
     pub fn scale(&self, s: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm.
@@ -190,8 +239,7 @@ impl Matrix {
         let cols = self.cols + rhs.cols;
         let mut out = Matrix::zeros(self.rows, cols);
         for i in 0..self.rows {
-            out.data[i * cols..i * cols + self.cols]
-                .copy_from_slice(self.row(i));
+            out.data[i * cols..i * cols + self.cols].copy_from_slice(self.row(i));
             out.data[i * cols + self.cols..(i + 1) * cols].copy_from_slice(rhs.row(i));
         }
         out

@@ -26,7 +26,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(Matrix::xavier(rng, in_dim, out_dim));
         let b = store.add(Matrix::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Records the forward pass for an `n × in_dim` input.
@@ -55,7 +60,10 @@ pub struct Mlp {
 impl Mlp {
     /// Builds an MLP with the given layer widths, e.g. `[in, hidden, out]`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, store: &mut ParamStore, dims: &[usize]) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(rng, store, w[0], w[1]))

@@ -18,7 +18,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with default betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Applies one update from the accumulated gradients, then leaves the
@@ -61,7 +67,11 @@ pub struct StepDecay {
 impl StepDecay {
     /// The paper's schedule.
     pub fn paper() -> Self {
-        StepDecay { initial_lr: 0.005, factor: 0.96, every_epochs: 5 }
+        StepDecay {
+            initial_lr: 0.005,
+            factor: 0.96,
+            every_epochs: 5,
+        }
     }
 
     /// Learning rate at the given 0-based epoch.

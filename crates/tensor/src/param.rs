@@ -49,7 +49,10 @@ impl ParamStore {
 
     /// Total scalar count across all parameters.
     pub fn scalar_count(&self) -> usize {
-        self.params.iter().map(|p| p.value.rows() * p.value.cols()).sum()
+        self.params
+            .iter()
+            .map(|p| p.value.rows() * p.value.cols())
+            .sum()
     }
 
     pub fn value(&self, id: usize) -> &Matrix {

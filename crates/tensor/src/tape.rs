@@ -167,17 +167,19 @@ impl Tape {
     pub fn weighted_row_softmax(&mut self, a: Var, w: Vec<f32>) -> Var {
         let x = &self.nodes[a].value;
         assert_eq!(w.len(), x.cols(), "weight length must match columns");
-        assert!(w.iter().all(|&wi| wi > 0.0), "softmax weights must be positive");
+        assert!(
+            w.iter().all(|&wi| wi > 0.0),
+            "softmax weights must be positive"
+        );
         let mut v = Matrix::zeros(x.rows(), x.cols());
         for i in 0..x.rows() {
             // Stabilize by the row max of x + ln w.
-            let logs: Vec<f32> =
-                (0..x.cols()).map(|j| x.get(i, j) + w[j].ln()).collect();
+            let logs: Vec<f32> = (0..x.cols()).map(|j| x.get(i, j) + w[j].ln()).collect();
             let m = logs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = logs.iter().map(|&l| (l - m).exp()).collect();
             let z: f32 = exps.iter().sum();
-            for j in 0..x.cols() {
-                v.set(i, j, exps[j] / z);
+            for (j, &e) in exps.iter().enumerate() {
+                v.set(i, j, e / z);
             }
         }
         self.flops += 4 * (x.rows() * x.cols()) as u64;
@@ -206,7 +208,10 @@ impl Tape {
         let z = self.nodes[logit].value.scalar();
         // max(z,0) - z*y + ln(1 + exp(-|z|))
         let loss = z.max(0.0) - z * target + (-z.abs()).exp().ln_1p();
-        self.push(Op::BceWithLogits(logit, target), Matrix::from_vec(1, 1, vec![loss]))
+        self.push(
+            Op::BceWithLogits(logit, target),
+            Matrix::from_vec(1, 1, vec![loss]),
+        )
     }
 
     /// Mean squared error against a fixed target (same shape as `pred`).
@@ -221,7 +226,11 @@ impl Tape {
     /// Reverse pass from the scalar node `root` (must be 1×1); gradients of
     /// parameters accumulate into `store`.
     pub fn backward(&self, root: Var, store: &mut ParamStore) {
-        assert_eq!(self.nodes[root].value.shape(), (1, 1), "backward root must be scalar");
+        assert_eq!(
+            self.nodes[root].value.shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[root] = Some(Matrix::ones(1, 1));
 
@@ -279,8 +288,7 @@ impl Tape {
                     let y = &self.nodes[idx].value;
                     let mut ga = Matrix::zeros(y.rows(), y.cols());
                     for i in 0..y.rows() {
-                        let dot: f32 =
-                            (0..y.cols()).map(|j| g.get(i, j) * y.get(i, j)).sum();
+                        let dot: f32 = (0..y.cols()).map(|j| g.get(i, j) * y.get(i, j)).sum();
                         for j in 0..y.cols() {
                             ga.set(i, j, y.get(i, j) * (g.get(i, j) - dot));
                         }
@@ -290,9 +298,7 @@ impl Tape {
                 Op::WeightedMeanRows(a, w) => {
                     let total: f32 = w.iter().sum();
                     let x = &self.nodes[*a].value;
-                    let ga = Matrix::from_fn(x.rows(), x.cols(), |i, j| {
-                        w[i] / total * g.get(0, j)
-                    });
+                    let ga = Matrix::from_fn(x.rows(), x.cols(), |i, j| w[i] / total * g.get(0, j));
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::BceWithLogits(logit, target) => {
@@ -336,11 +342,7 @@ mod tests {
 
     /// Finite-difference gradient check for a scalar function of one
     /// parameter matrix.
-    fn grad_check(
-        build: impl Fn(&mut Tape, &ParamStore) -> Var,
-        init: Matrix,
-        tol: f32,
-    ) {
+    fn grad_check(build: impl Fn(&mut Tape, &ParamStore) -> Var, init: Matrix, tol: f32) {
         let mut store = ParamStore::new();
         let pid = store.add(init);
         // Analytic gradient.
@@ -441,7 +443,7 @@ mod tests {
                 let col = t.matmul(p, a1); // 4x1
                 let tql = t.leaf(tq.clone());
                 let qrow0 = t.matmul(tql, a2); // 3x1
-                // transpose via rank1: need 1x3 row — build with leaf matmul
+                                               // transpose via rank1: need 1x3 row — build with leaf matmul
                 let tql2 = t.leaf(tq.transpose()); // 2x3
                 let a2l = t.leaf(Matrix::from_vec(1, 2, vec![0.5, 0.2]));
                 let row = t.matmul(a2l, tql2); // 1x3
@@ -514,8 +516,8 @@ mod tests {
                 let o = t.leaf(other.clone());
                 let d = t.sub(p, o);
                 let sc = t.scale(d, 2.5);
-                let sq = t.mse(sc, Matrix::zeros(1, 3));
-                sq
+
+                t.mse(sc, Matrix::zeros(1, 3))
             },
             Matrix::from_vec(1, 3, vec![0.4, -0.2, 0.9]),
             1e-2,

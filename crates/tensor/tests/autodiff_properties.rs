@@ -101,7 +101,7 @@ proptest! {
         let analytic: Vec<Matrix> =
             (0..store.len()).map(|i| store.grad(i).clone()).collect();
         let eps = 1e-2f32;
-        for pid in 0..store.len() {
+        for (pid, analytic_g) in analytic.iter().enumerate() {
             let (r, c) = store.value(pid).shape();
             for i in 0..r {
                 for j in 0..c {
@@ -114,7 +114,7 @@ proptest! {
                     let f2 = t2.value(v2).scalar();
                     store.value_mut(pid).set(i, j, orig);
                     let numeric = (f1 - f2) / (2.0 * eps);
-                    let a = analytic[pid].get(i, j);
+                    let a = analytic_g.get(i, j);
                     prop_assert!(
                         (a - numeric).abs() <= 0.08 * (1.0 + numeric.abs()),
                         "param {} ({},{}): analytic {} vs numeric {}",

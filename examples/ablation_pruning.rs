@@ -38,16 +38,42 @@ fn main() {
     let b = 20;
     let truths = harness::ground_truths(&index, &test_q, k);
 
-    println!("\nAblation on {} ({} test queries, k = {k}, b = {b}):", index.dataset.spec.name, test_q.len());
-    println!("{:<34} {:>8} {:>9} {:>8}", "variant", "recall", "avg NDC", "QPS");
+    println!(
+        "\nAblation on {} ({} test queries, k = {k}, b = {b}):",
+        index.dataset.spec.name,
+        test_q.len()
+    );
+    println!(
+        "{:<34} {:>8} {:>9} {:>8}",
+        "variant", "recall", "avg NDC", "QPS"
+    );
     for (label, init, route) in [
-        ("LAN (full)", InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }),
-        ("LAN w/o CG", InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: false }),
-        ("LAN_IS + exhaustive routing", InitStrategy::LanIs, RouteStrategy::HnswRoute),
-        ("HNSW (no learning)", InitStrategy::HnswIs, RouteStrategy::HnswRoute),
+        (
+            "LAN (full)",
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: true },
+        ),
+        (
+            "LAN w/o CG",
+            InitStrategy::LanIs,
+            RouteStrategy::LanRoute { use_cg: false },
+        ),
+        (
+            "LAN_IS + exhaustive routing",
+            InitStrategy::LanIs,
+            RouteStrategy::HnswRoute,
+        ),
+        (
+            "HNSW (no learning)",
+            InitStrategy::HnswIs,
+            RouteStrategy::HnswRoute,
+        ),
     ] {
         let (p, _) = harness::run_point(&index, &test_q, &truths, k, b, init, route);
-        println!("{label:<34} {:>8.3} {:>9.1} {:>8.2}", p.recall, p.avg_ndc, p.qps);
+        println!(
+            "{label:<34} {:>8.3} {:>9.1} {:>8.2}",
+            p.recall, p.avg_ndc, p.qps
+        );
     }
 
     // Oracle pruning: the idealized Theorem 1 router.

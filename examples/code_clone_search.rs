@@ -44,8 +44,12 @@ fn main() {
     // (renamed ops, an inserted block, a removed jump).
     let mut rng = StdRng::seed_from_u64(99);
     let original = 17u32;
-    let (suspicious, edits) =
-        perturb(&mut rng, &index.dataset.graphs[original as usize], 3, index.dataset.spec.num_labels);
+    let (suspicious, edits) = perturb(
+        &mut rng,
+        &index.dataset.graphs[original as usize],
+        3,
+        index.dataset.spec.num_labels,
+    );
     println!(
         "\nsuspicious function: {} blocks ({} edits from function #{original})",
         suspicious.node_count(),
@@ -59,7 +63,11 @@ fn main() {
     // dozen edits on ~35-block functions is a near-clone.
     let threshold = 12.0;
     for &(d, id) in &out.results {
-        let verdict = if d <= threshold { "LIKELY CLONE" } else { "distinct" };
+        let verdict = if d <= threshold {
+            "LIKELY CLONE"
+        } else {
+            "distinct"
+        };
         println!("  function #{id:<4} GED = {d:<5} -> {verdict}");
     }
     println!(

@@ -3,8 +3,8 @@
 
 use lan_suite::core::{InitStrategy, L2RouteIndex, LanConfig, LanIndex, RouteStrategy};
 use lan_suite::datasets::{Dataset, DatasetSpec};
-use lan_suite::models::ModelConfig;
 use lan_suite::ged::GedMethod;
+use lan_suite::models::ModelConfig;
 use lan_suite::pg::PgConfig;
 
 fn build() -> LanIndex {
@@ -76,7 +76,11 @@ fn l2route_and_strategies_compose() {
     assert_eq!(res.len(), 3);
     assert_eq!(ndc, 12);
 
-    for init in [InitStrategy::LanIs, InitStrategy::HnswIs, InitStrategy::RandIs] {
+    for init in [
+        InitStrategy::LanIs,
+        InitStrategy::HnswIs,
+        InitStrategy::RandIs,
+    ] {
         let out = index.search_with(&q, 3, 8, init, RouteStrategy::LanRoute { use_cg: true }, 1);
         assert_eq!(out.results.len(), 3);
     }
@@ -87,8 +91,22 @@ fn deterministic_given_seed() {
     let i1 = build();
     let i2 = build();
     let q = i1.dataset.queries[2].clone();
-    let a = i1.search_with(&q, 4, 10, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }, 9);
-    let b = i2.search_with(&q, 4, 10, InitStrategy::LanIs, RouteStrategy::LanRoute { use_cg: true }, 9);
+    let a = i1.search_with(
+        &q,
+        4,
+        10,
+        InitStrategy::LanIs,
+        RouteStrategy::LanRoute { use_cg: true },
+        9,
+    );
+    let b = i2.search_with(
+        &q,
+        4,
+        10,
+        InitStrategy::LanIs,
+        RouteStrategy::LanRoute { use_cg: true },
+        9,
+    );
     assert_eq!(a.results, b.results);
     assert_eq!(a.ndc, b.ndc);
 }

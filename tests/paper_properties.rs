@@ -4,8 +4,8 @@
 use lan_suite::ged::engine::{ged, GedMethod};
 use lan_suite::ged::exact::{brute_force_ged, exact_ged, ExactLimits};
 use lan_suite::ged::lower_bounds::label_size_lb;
-use lan_suite::gnn::{CompressedGnnGraph, CrossGraphNet, CrossInput};
 use lan_suite::gnn::gin::GnnConfig;
+use lan_suite::gnn::{CompressedGnnGraph, CrossGraphNet, CrossInput};
 use lan_suite::graph::{Graph, GraphBuilder};
 use lan_suite::pg::np_route::{np_route, OracleRanker};
 use lan_suite::pg::{beam_search, DistCache};
@@ -16,8 +16,12 @@ use rand::SeedableRng;
 
 /// Strategy: a small random labeled simple graph.
 fn small_graph(max_n: usize, labels: u16) -> impl Strategy<Value = Graph> {
-    (1..=max_n, proptest::collection::vec(0u16..labels, max_n), any::<u64>()).prop_map(
-        move |(n, ls, seed)| {
+    (
+        1..=max_n,
+        proptest::collection::vec(0u16..labels, max_n),
+        any::<u64>(),
+    )
+        .prop_map(move |(n, ls, seed)| {
             let mut rng = StdRng::seed_from_u64(seed);
             use rand::Rng;
             let mut b = GraphBuilder::new();
@@ -37,8 +41,7 @@ fn small_graph(max_n: usize, labels: u16) -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {
