@@ -15,19 +15,31 @@
 //! overrides it. On a single-core host the speedup is honestly ~1×, and
 //! the JSON records `host_threads` so readers can tell.
 //!
+//! A metrics snapshot is written to `results/BENCH_obs.json` at the end
+//! (with the run's independently summed `total_ndc` for cross-checking by
+//! the `obs_check` binary), and `LAN_TRACE=route` additionally produces
+//! `results/trace_throughput.jsonl`.
+//!
 //! ```text
-//! cargo run --release -p lan-bench --bin throughput
+//! cargo run --release -p lan-bench --bin throughput [-- --smoke]
 //! ```
+//!
+//! `--smoke` shrinks the run to CI size: a tiny Hungarian-metric dataset
+//! over 2 shards, seconds end to end.
 
-use lan_bench::{bench_lan_config, k_for, sized_spec, Scale};
-use lan_core::{InitStrategy, RouteStrategy, ShardedLanIndex};
+use lan_bench::{bench_lan_config, finish_obs, k_for, sized_spec, Scale};
+use lan_core::{InitStrategy, LanConfig, RouteStrategy, ShardedLanIndex};
 use lan_datasets::{Dataset, DatasetSpec};
 use lan_graph::Graph;
+use lan_models::ModelConfig;
+use lan_obs::trace;
+use lan_pg::PgConfig;
 use std::time::Instant;
 
 struct RunStats {
     wall_s: f64,
     qps: f64,
+    total_ndc: usize,
     avg_ndc: f64,
     avg_recall: f64,
 }
@@ -42,11 +54,17 @@ fn run_batch(
 ) -> RunStats {
     let t0 = Instant::now();
     let outs: Vec<lan_core::QueryOutcome> = if parallel_queries {
-        lan_par::par_map(queries, |(qi, q)| search(q, *qi as u64))
+        lan_par::par_map(queries, |(qi, q)| {
+            let _t = trace::query(*qi as u64);
+            search(q, *qi as u64)
+        })
     } else {
         queries
             .iter()
-            .map(|(qi, q)| search(q, *qi as u64))
+            .map(|(qi, q)| {
+                let _t = trace::query(*qi as u64);
+                search(q, *qi as u64)
+            })
             .collect()
     };
     let wall = t0.elapsed().as_secs_f64();
@@ -61,6 +79,7 @@ fn run_batch(
     let stats = RunStats {
         wall_s: wall,
         qps: n / wall.max(1e-12),
+        total_ndc: ndc,
         avg_ndc: ndc as f64 / n,
         avg_recall: recall,
     };
@@ -79,12 +98,38 @@ fn json_stats(s: &RunStats) -> String {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = Scale::from_env();
-    let k = k_for(scale);
+    let (k, num_shards, spec, cfg) = if smoke {
+        // CI-sized: tiny Hungarian-metric database, seconds end to end.
+        let spec = DatasetSpec::syn()
+            .with_graphs(40)
+            .with_queries(10)
+            .with_metric(lan_ged::GedMethod::Hungarian);
+        let cfg = LanConfig {
+            pg: PgConfig::new(4),
+            model: ModelConfig {
+                embed_dim: 8,
+                epochs: 1,
+                max_samples_per_epoch: 80,
+                nh_cover_k: 6,
+                clusters: 3,
+                top_clusters: 2,
+                mlp_hidden: 8,
+                ..ModelConfig::default()
+            },
+            ds: 1.0,
+        };
+        (5usize, 2usize, spec, cfg)
+    } else {
+        (
+            k_for(scale),
+            4usize,
+            sized_spec(DatasetSpec::syn(), scale),
+            bench_lan_config(scale),
+        )
+    };
     let b = 2 * k;
-    let num_shards = 4usize;
-
-    let spec = sized_spec(DatasetSpec::syn(), scale);
     eprintln!(
         "generating {} graphs / {} queries...",
         spec.num_graphs, spec.num_queries
@@ -92,7 +137,7 @@ fn main() {
     let dataset = Dataset::generate(spec);
     eprintln!("building {num_shards}-shard index (parallel across shards)...");
     let t0 = Instant::now();
-    let sharded = ShardedLanIndex::build(&dataset, &bench_lan_config(scale), num_shards);
+    let sharded = ShardedLanIndex::build(&dataset, &cfg, num_shards);
     let build_s = t0.elapsed().as_secs_f64();
     eprintln!("index ready in {build_s:.1}s");
 
@@ -185,4 +230,9 @@ fn main() {
     std::fs::write("results/BENCH_parallel.json", &json)
         .expect("write results/BENCH_parallel.json");
     eprintln!("wrote results/BENCH_parallel.json");
+
+    // The run's own NDC bookkeeping, summed independently of the metrics
+    // registry; `obs_check` asserts the exported `ged.calls` equals it.
+    let total_ndc = (seq.total_ndc + par_shards.total_ndc + par_queries.total_ndc) as u64;
+    finish_obs("throughput", &[("total_ndc", total_ndc)]);
 }

@@ -136,6 +136,39 @@ pub fn k_for(scale: Scale) -> usize {
     }
 }
 
+/// Finishes a bench run's observability outputs: the global metrics
+/// snapshot as `results/BENCH_obs.json` (+ `results/BENCH_obs.prom`), and
+/// — when `LAN_TRACE=route` — the buffered routing trace as
+/// `results/trace_<bench>.jsonl`.
+///
+/// `extra` entries (e.g. the run's independently summed `total_ndc`) are
+/// embedded at the top level of the JSON next to the metrics, so checkers
+/// can cross-validate the snapshot against the bench's own accounting.
+pub fn finish_obs(bench: &str, extra: &[(&str, u64)]) {
+    std::fs::create_dir_all("results").expect("create results/");
+    let snap = lan_obs::snapshot();
+    let extras: String = extra
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v},\n"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"metrics_enabled\": {},\n{extras}  \"metrics\": {}\n}}\n",
+        lan_obs::enabled(),
+        snap.to_json(),
+    );
+    std::fs::write("results/BENCH_obs.json", json).expect("write results/BENCH_obs.json");
+    std::fs::write("results/BENCH_obs.prom", snap.to_prometheus())
+        .expect("write results/BENCH_obs.prom");
+    eprintln!("wrote results/BENCH_obs.json (+ .prom)");
+    if lan_obs::trace::route_enabled() {
+        let path = format!("results/trace_{bench}.jsonl");
+        match lan_obs::trace::write_jsonl(&path) {
+            Ok(n) => eprintln!("wrote {n} routing-trace events to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
 /// Prints a curve as aligned rows.
 pub fn print_curve(method: &str, curve: &[lan_core::CurvePoint]) {
     for p in curve {

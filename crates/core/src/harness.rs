@@ -5,6 +5,7 @@
 use crate::index::LanIndex;
 use crate::l2route::L2RouteIndex;
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
+use lan_obs::trace;
 use std::time::{Duration, Instant};
 
 /// One point of a recall–QPS curve.
@@ -51,6 +52,38 @@ impl Breakdown {
     }
 }
 
+/// Shared accumulation of a query batch: tie-aware recall, NDC, and the
+/// time breakdown — one implementation for the sequential and parallel
+/// harness paths (they must count identically for the determinism tests).
+#[derive(Debug, Default)]
+struct Aggregate {
+    recall_sum: f64,
+    ndc_sum: usize,
+    breakdown: Breakdown,
+}
+
+impl Aggregate {
+    fn add(&mut self, out: &QueryOutcome, truth: f64, k: usize) {
+        self.recall_sum += lan_datasets::dataset::recall_at_k_ties(&out.results, truth, k);
+        self.ndc_sum += out.ndc;
+        self.breakdown.add(out);
+    }
+
+    /// Finishes the batch into a curve point. `wall` is the denominator of
+    /// QPS: the summed per-query time for sequential runs, the true batch
+    /// wall-clock for parallel runs.
+    fn finish(self, param: usize, n_queries: usize, wall: Duration) -> (CurvePoint, Breakdown) {
+        let n = n_queries.max(1) as f64;
+        let point = CurvePoint {
+            param,
+            recall: self.recall_sum / n,
+            qps: n / wall.as_secs_f64().max(1e-12),
+            avg_ndc: self.ndc_sum as f64 / n,
+        };
+        (point, self.breakdown)
+    }
+}
+
 /// Per-query ground truth: the true k-th NN distance (for tie-aware
 /// recall), computed once and shared across sweeps.
 pub fn ground_truths(index: &LanIndex, query_idx: &[usize], k: usize) -> Vec<f64> {
@@ -79,24 +112,15 @@ pub fn run_point(
     init: InitStrategy,
     route: RouteStrategy,
 ) -> (CurvePoint, Breakdown) {
-    let mut recall_sum = 0.0;
-    let mut ndc_sum = 0usize;
-    let mut breakdown = Breakdown::default();
+    let mut agg = Aggregate::default();
     for (i, &qi) in query_idx.iter().enumerate() {
         let q = &index.dataset.queries[qi];
+        let _t = trace::query(qi as u64);
         let out = index.search_with(q, k, b, init, route, qi as u64);
-        recall_sum += lan_datasets::dataset::recall_at_k_ties(&out.results, truths[i], k);
-        ndc_sum += out.ndc;
-        breakdown.add(&out);
+        agg.add(&out, truths[i], k);
     }
-    let n = query_idx.len().max(1) as f64;
-    let point = CurvePoint {
-        param: b,
-        recall: recall_sum / n,
-        qps: n / breakdown.total.as_secs_f64().max(1e-12),
-        avg_ndc: ndc_sum as f64 / n,
-    };
-    (point, breakdown)
+    let wall = agg.breakdown.total;
+    agg.finish(b, query_idx.len(), wall)
 }
 
 /// The parallel counterpart of [`run_point`]: queries of the batch run
@@ -121,26 +145,16 @@ pub fn run_point_parallel(
     let t0 = Instant::now();
     let outs: Vec<QueryOutcome> = lan_par::par_map(query_idx, |&qi| {
         let q = &index.dataset.queries[qi];
+        let _t = trace::query(qi as u64);
         index.search_with(q, k, b, init, route, qi as u64)
     });
     let wall = t0.elapsed();
 
-    let mut recall_sum = 0.0;
-    let mut ndc_sum = 0usize;
-    let mut breakdown = Breakdown::default();
+    let mut agg = Aggregate::default();
     for (i, out) in outs.iter().enumerate() {
-        recall_sum += lan_datasets::dataset::recall_at_k_ties(&out.results, truths[i], k);
-        ndc_sum += out.ndc;
-        breakdown.add(out);
+        agg.add(out, truths[i], k);
     }
-    let n = query_idx.len().max(1) as f64;
-    let point = CurvePoint {
-        param: b,
-        recall: recall_sum / n,
-        qps: n / wall.as_secs_f64().max(1e-12),
-        avg_ndc: ndc_sum as f64 / n,
-    };
-    (point, breakdown)
+    agg.finish(b, query_idx.len(), wall)
 }
 
 /// A recall–QPS curve over a sweep of beam sizes.
@@ -172,23 +186,21 @@ pub fn l2route_curve(
     candidate_counts
         .iter()
         .map(|&c| {
-            let mut recall_sum = 0.0;
-            let mut ndc_sum = 0usize;
-            let mut total = Duration::ZERO;
+            let mut agg = Aggregate::default();
             for (i, &qi) in query_idx.iter().enumerate() {
                 let q = &index.dataset.queries[qi];
-                let (results, ndc, t, _) = l2.search(index, q, k, c);
-                recall_sum += lan_datasets::dataset::recall_at_k_ties(&results, truths[i], k);
-                ndc_sum += ndc;
-                total += t;
+                let (results, ndc, t, dt) = l2.search(index, q, k, c);
+                let out = QueryOutcome {
+                    results,
+                    ndc,
+                    total_time: t,
+                    distance_time: dt,
+                    gnn_time: Duration::ZERO,
+                };
+                agg.add(&out, truths[i], k);
             }
-            let n = query_idx.len().max(1) as f64;
-            CurvePoint {
-                param: c,
-                recall: recall_sum / n,
-                qps: n / total.as_secs_f64().max(1e-12),
-                avg_ndc: ndc_sum as f64 / n,
-            }
+            let wall = agg.breakdown.total;
+            agg.finish(c, query_idx.len(), wall).0
         })
         .collect()
 }

@@ -38,20 +38,27 @@ impl LanIndex {
     /// Builds the proximity graph, computes the training distance matrix,
     /// and trains every model. Entirely offline (paper §III-F).
     pub fn build(dataset: Dataset, cfg: LanConfig) -> Self {
+        let _b_span = lan_obs::span("build");
         let pair_fn = |a: u32, b: u32| dataset.pair_distance(a, b);
         let pairs = PairCache::new(&pair_fn);
+        let pg_span = lan_obs::span("build.pg");
         let pg = ProximityGraph::build(dataset.graphs.len(), &pairs, &cfg.pg);
+        drop(pg_span);
         let build_ndc = pairs.computed();
 
         // Training distances: one row per training query, parallelized.
+        let td_span = lan_obs::span("build.train_dists");
         let train_dists: Vec<Vec<f64>> = lan_par::par_map(&dataset.split.train, |&qi| {
             (0..dataset.graphs.len() as u32)
                 .map(|g| dataset.distance(&dataset.queries[qi], g))
                 .collect::<Vec<f64>>()
         });
+        drop(td_span);
 
+        let models_span = lan_obs::span("build.models");
         let (models, report) =
             LanModels::train(&dataset, pg.base(), &train_dists, cfg.model.clone());
+        drop(models_span);
         LanIndex {
             dataset,
             pg,

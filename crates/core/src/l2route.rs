@@ -11,8 +11,8 @@
 
 use crate::index::LanIndex;
 use lan_graph::Graph;
+use lan_obs::TimerCell;
 use lan_pg::{beam_search, DistCache, PairCache, PgConfig, ProximityGraph};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// L2route's own index: an HNSW over the embedding vectors.
@@ -35,7 +35,7 @@ impl L2RouteIndex {
     pub fn build(index: &LanIndex, m: usize) -> Self {
         let embeds = index.models.db_embeds.clone();
         let pair_fn = |a: u32, b: u32| l2(&embeds[a as usize], &embeds[b as usize]);
-        let pairs = PairCache::new(&pair_fn);
+        let pairs = PairCache::new_uncounted(&pair_fn);
         let pg = ProximityGraph::build(embeds.len(), &pairs, &PgConfig::new(m));
         L2RouteIndex { pg, embeds }
     }
@@ -56,7 +56,7 @@ impl L2RouteIndex {
         // Cheap vector routing (uncounted: the paper's NDC counts *graph*
         // distance computations, which are the expensive operation).
         let vq = |id: u32| l2(&self.embeds[id as usize], &qe);
-        let vcache = DistCache::new(&vq);
+        let vcache = DistCache::new_uncounted(&vq);
         let entry = self.pg.hnsw_entry(&vcache);
         let cand = beam_search(
             self.pg.base(),
@@ -68,13 +68,8 @@ impl L2RouteIndex {
 
         // Verification with true GED — this is the counted cost. The timer
         // is atomic because DistCache requires a Sync distance closure.
-        let dist_nanos = AtomicU64::new(0);
-        let qd = |id: u32| {
-            let t = Instant::now();
-            let d = index.dataset.distance(q, id);
-            dist_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            d
-        };
+        let dist_timer = TimerCell::new();
+        let qd = |id: u32| dist_timer.time(|| index.dataset.distance(q, id));
         let gcache = DistCache::new(&qd);
         let mut verified: Vec<(f64, u32)> =
             cand.ids().iter().map(|&id| (gcache.get(id), id)).collect();
@@ -86,7 +81,6 @@ impl L2RouteIndex {
         verified.truncate(k);
         let ndc = gcache.ndc();
         drop(gcache);
-        let dt = Duration::from_nanos(dist_nanos.load(Ordering::Relaxed));
-        (verified, ndc, t0.elapsed(), dt)
+        (verified, ndc, t0.elapsed(), dist_timer.total())
     }
 }

@@ -9,11 +9,11 @@
 use crate::index::LanIndex;
 use lan_graph::Graph;
 use lan_models::LearnedRanker;
+use lan_obs::{names, span, TimerCell};
 use lan_pg::np_route::np_route;
 use lan_pg::{beam_search, DistCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Initial-node selection strategy.
@@ -89,15 +89,14 @@ impl LanIndex {
         seed: u64,
     ) -> QueryOutcome {
         let t_start = Instant::now();
-        // Nanosecond counter instead of RefCell<Duration>: the closure must
-        // be Sync because DistCache is shared across threads in-search.
-        let dist_nanos = AtomicU64::new(0);
-        let qd = |id: u32| {
-            let t0 = Instant::now();
-            let d = self.dataset.distance(q, id);
-            dist_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            d
-        };
+        let _q_span = span("query");
+        lan_obs::counter(names::QUERY_COUNT).inc();
+        // Atomic nanosecond cell instead of RefCell<Duration>: the closure
+        // must be Sync because DistCache is shared across threads in-search.
+        // TimerCell is ungated — QueryOutcome::distance_time stays identical
+        // whether metrics are enabled or not.
+        let dist_timer = TimerCell::new();
+        let qd = |id: u32| dist_timer.time(|| self.dataset.distance(q, id));
         let cache = DistCache::new(&qd);
         self.models.gnn_timer.reset();
 
@@ -111,6 +110,7 @@ impl LanIndex {
         let ctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
 
         // --- Initial node selection. ---
+        let init_span = span("query.init");
         let entries: Vec<u32> = match init {
             InitStrategy::HnswIs => vec![self.pg.hnsw_entry(&cache)],
             InitStrategy::RandIs => {
@@ -149,7 +149,10 @@ impl LanIndex {
             }
         };
 
+        drop(init_span);
+
         // --- Routing. ---
+        let route_span = span("query.route");
         let route_result = match route {
             RouteStrategy::HnswRoute => beam_search(self.pg.base(), &cache, &entries, b, k),
             RouteStrategy::LanRoute { use_cg } => {
@@ -158,9 +161,10 @@ impl LanIndex {
                 np_route(self.pg.base(), &cache, &ranker, &entries, b, k, self.cfg.ds)
             }
         };
+        drop(route_span);
 
         drop(cache);
-        let distance_time = Duration::from_nanos(dist_nanos.load(Ordering::Relaxed));
+        let distance_time = dist_timer.total();
         QueryOutcome {
             results: route_result.results,
             ndc: route_result.ndc,

@@ -131,7 +131,11 @@ impl ShardedLanIndex {
     ) -> QueryOutcome {
         let t0 = Instant::now();
         let idx: Vec<usize> = (0..self.shards.len()).collect();
+        // Worker threads have empty trace thread-locals; re-attach the
+        // caller's traced query id so per-shard hops keep their `q`.
+        let traced = lan_obs::trace::active_query();
         let per_shard: Vec<QueryOutcome> = lan_par::par_map(&idx, |&s| {
+            let _t = lan_obs::trace::propagate(traced);
             self.shards[s].search_with(q, k, b, init, route, seed ^ s as u64)
         });
         self.merge(per_shard, k, t0)
@@ -145,7 +149,11 @@ impl ShardedLanIndex {
         let mut ndc = 0usize;
         let mut distance_time = std::time::Duration::ZERO;
         let mut gnn_time = std::time::Duration::ZERO;
+        let track_shards = lan_obs::enabled();
         for (s, out) in per_shard.into_iter().enumerate() {
+            if track_shards {
+                lan_obs::counter(&lan_obs::names::shard_ndc(s)).add(out.ndc as u64);
+            }
             ndc += out.ndc;
             distance_time += out.distance_time;
             gnn_time += out.gnn_time;

@@ -145,6 +145,7 @@ impl CrossGraphNet {
         x: &CrossInput,
         y: &CrossInput,
     ) -> PairEmbedding {
+        lan_obs::counter(lan_obs::names::GNN_FORWARD_CALLS).inc();
         let layers = self.layers.len();
         let mut hx = tape.leaf(x.feats.clone());
         let mut hy = tape.leaf(y.feats.clone());

@@ -97,6 +97,7 @@ impl Gin {
 
     /// Inference convenience: the pooled graph embedding as a plain matrix.
     pub fn embed(&self, store: &ParamStore, g: &Graph) -> Matrix {
+        lan_obs::counter(lan_obs::names::GNN_EMBED_CALLS).inc();
         let mut tape = Tape::new();
         let (_, pooled) = self.forward(&mut tape, store, g);
         tape.value(pooled).clone()

@@ -1,0 +1,167 @@
+//! Snapshot exporters: Prometheus text exposition format and JSON.
+//!
+//! Both are hand-rolled (the workspace is offline and serde-free, matching
+//! the manual JSON the bench binaries already write). Metric names use `.`
+//! separators internally; the Prometheus exporter rewrites them to `_` to
+//! satisfy the exposition-format name charset.
+
+use crate::metrics::{bucket_upper_bound, Snapshot};
+use std::fmt::Write;
+
+/// A metric name sanitized for Prometheus (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Prometheus text exposition format: counters and gauges as-is,
+    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` /
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(i, c) in &h.buckets {
+                cumulative += c;
+                let _ = writeln!(
+                    out,
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(i as usize)
+                );
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
+    /// JSON object with `counters`, `gauges`, and `histograms` maps.
+    /// Histograms carry `count`, `sum`, `mean`, and sparse `buckets` as
+    /// `[upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(name));
+            first = false;
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, v) in &self.gauges {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(name));
+            first = false;
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            let sep = if first { "" } else { "," };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(i, c)| format!("[{}, {c}]", bucket_upper_bound(i as usize)))
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"buckets\": [{}]}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                buckets.join(", ")
+            );
+            first = false;
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("ged.calls".into(), 42);
+        s.gauges.insert("pool.size".into(), -3);
+        s.histograms.insert(
+            "span.query.ns".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 10,
+                buckets: vec![(1, 1), (3, 2)],
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn prometheus_format() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE ged_calls counter"));
+        assert!(text.contains("ged_calls 42"));
+        assert!(text.contains("pool_size -3"));
+        assert!(text.contains("span_query_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("span_query_ns_bucket{le=\"7\"} 3"));
+        assert!(text.contains("span_query_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("span_query_ns_count 3"));
+    }
+
+    #[test]
+    fn json_format() {
+        let json = sample().to_json();
+        assert!(json.contains("\"ged.calls\": 42"));
+        assert!(json.contains("\"pool.size\": -3"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("[7, 2]"));
+        // Balanced braces (rough structural sanity).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(prom_name("shard.0.ndc"), "shard_0_ndc");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,92 @@
+//! Observability for the LAN workspace: a global lock-striped metrics
+//! registry, RAII timing spans, and an opt-in per-query routing trace.
+//!
+//! Built with zero external dependencies (std only) so every crate on the
+//! hot path — `lan-pg`, `lan-ged`, `lan-gnn`, `lan-core`, `lan-bench` —
+//! can depend on it without widening the dependency closure.
+//!
+//! # Design constraints
+//!
+//! * **Deterministic-NDC-safe.** Recording a metric never changes control
+//!   flow: all counters are atomics, histograms are fixed arrays of
+//!   atomics, and the registry lock is only taken to *resolve a name to a
+//!   handle*, never inside the stripe-locked distance section of
+//!   `DistCache` (callers resolve handles once at construction).
+//! * **Zero-overhead when disabled.** Every record call starts with one
+//!   relaxed atomic load (`enabled()`); when metrics are off nothing else
+//!   happens — no `Instant::now()`, no allocation, no locking. The
+//!   `obs_overhead` criterion microbench in `lan-bench` pins this down.
+//! * **Allocation-light when enabled.** Hot-path increments are single
+//!   `fetch_add`s on pre-resolved handles; only span exit and per-shard
+//!   counters format a name (a handful of times per query).
+//!
+//! # Environment variables
+//!
+//! * `LAN_METRICS` — `0`/`off`/`false` disables the registry (default on);
+//! * `LAN_TRACE` — `route` (or `1`/`all`) enables the routing trace;
+//! * `LAN_TRACE_SAMPLE` — trace every N-th query id (default 1 = all).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use lan_obs as obs;
+//!
+//! let before = obs::snapshot();
+//! obs::counter(obs::names::GED_CALLS).add(3);
+//! {
+//!     let _span = obs::span::span("example.phase");
+//!     // ... timed work ...
+//! }
+//! let delta = obs::snapshot().diff(&before);
+//! assert!(delta.counter(obs::names::GED_CALLS) >= 3);
+//! println!("{}", delta.to_json());
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{
+    counter, enabled, gauge, histogram, set_enabled, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, Snapshot, TimerCell,
+};
+pub use span::{span, SpanGuard};
+
+/// Catalogue of the metric names emitted by the LAN crates (the single
+/// source of truth; DESIGN.md's Observability section mirrors this list).
+pub mod names {
+    /// Unique query↔graph distance computations (`DistCache` misses) — by
+    /// construction equal to the total reported NDC of a run.
+    pub const GED_CALLS: &str = "ged.calls";
+    /// `DistCache` lookups answered from memory.
+    pub const GED_CACHE_HIT: &str = "ged.cache.hit";
+    /// `DistCache` lookups that had to compute (== [`GED_CALLS`]).
+    pub const GED_CACHE_MISS: &str = "ged.cache.miss";
+    /// Unique construction-time pairwise distance computations.
+    pub const PAIR_CALLS: &str = "pair.calls";
+    /// `PairCache` lookups answered from memory.
+    pub const PAIR_CACHE_HIT: &str = "pair.cache.hit";
+    /// `PairCache` lookups that had to compute (== [`PAIR_CALLS`]).
+    pub const PAIR_CACHE_MISS: &str = "pair.cache.miss";
+    /// Nodes explored by routing (both `np_route` stages + beam search).
+    pub const ROUTE_HOPS: &str = "route.hops";
+    /// Neighbor batches opened by `np_route` (Algorithms 3–4).
+    pub const ROUTE_BATCHES_OPENED: &str = "route.batches_opened";
+    /// Batch-opening loops stopped by the γ threshold while unopened
+    /// batches remained — each one is pruned distance computations.
+    pub const ROUTE_GAMMA_PRUNES: &str = "route.gamma_prunes";
+    /// Cross-graph network forward passes (plain and CG).
+    pub const GNN_FORWARD_CALLS: &str = "gnn.forward_calls";
+    /// GIN embedding computations.
+    pub const GNN_EMBED_CALLS: &str = "gnn.embed_calls";
+    /// Queries answered (one per `search_with` / merged sharded query).
+    pub const QUERY_COUNT: &str = "query.count";
+    /// Routing-trace events dropped because the ring buffer was full.
+    pub const TRACE_DROPPED: &str = "trace.dropped";
+
+    /// Per-shard NDC counter name (`shard.{i}.ndc`).
+    pub fn shard_ndc(shard: usize) -> String {
+        format!("shard.{shard}.ndc")
+    }
+}

@@ -1,0 +1,121 @@
+//! RAII timing spans with a thread-local span stack and parent/child
+//! aggregation.
+//!
+//! `span("query.route")` pushes a frame and returns a guard; when the
+//! guard drops, the elapsed wall-clock is recorded into the histograms
+//! `span.query.route.ns` (total) and `span.query.route.self_ns` (total
+//! minus time spent in child spans), and the total is credited to the
+//! parent frame's child time. Spans are strictly thread-local — a span
+//! opened on one `lan-par` worker never nests under a span of another —
+//! which matches how the query path parallelizes (each query runs
+//! entirely on one worker).
+//!
+//! When metrics are disabled, `span()` is a no-op: no `Instant::now()`,
+//! no thread-local push, no histogram lookup.
+
+use crate::metrics::{enabled, histogram};
+use std::cell::RefCell;
+use std::time::Instant;
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    /// Nanoseconds spent in already-closed child spans of this frame.
+    child_nanos: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Active guard returned by [`span`]; records timings on drop.
+#[must_use = "a span measures until the guard is dropped"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+/// Opens a timing span (no-op while metrics are disabled).
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            name,
+            start: Instant::now(),
+            child_nanos: 0,
+        })
+    });
+    SpanGuard { armed: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in LIFO order on a thread, so the top frame is
+            // ours; a disarmed guard never pushed, so depth stays matched
+            // even if `set_enabled` flips mid-span.
+            let Some(frame) = stack.pop() else { return };
+            let total = frame.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let self_ns = total.saturating_sub(frame.child_nanos);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_nanos = parent.child_nanos.saturating_add(total);
+            }
+            drop(stack);
+            histogram(&format!("span.{}.ns", frame.name)).record(total);
+            histogram(&format!("span.{}.self_ns", frame.name)).record(self_ns);
+        });
+    }
+}
+
+/// Depth of the calling thread's span stack (diagnostics and tests).
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{set_enabled, snapshot};
+
+    #[test]
+    fn nested_spans_aggregate_to_parent() {
+        let _l = crate::metrics::test_lock();
+        set_enabled(true);
+        let before = snapshot();
+        {
+            let _outer = span("test.span.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test.span.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(depth(), 1);
+        }
+        assert_eq!(depth(), 0);
+        let d = snapshot().diff(&before);
+        let outer = d.histogram("span.test.span.outer.ns");
+        let outer_self = d.histogram("span.test.span.outer.self_ns");
+        let inner = d.histogram("span.test.span.inner.ns");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Parent total covers the child; parent self-time excludes it.
+        assert!(outer.sum >= inner.sum);
+        assert!(outer_self.sum <= outer.sum - inner.sum);
+    }
+
+    #[test]
+    fn disabled_span_pushes_nothing() {
+        let _l = crate::metrics::test_lock();
+        set_enabled(false);
+        {
+            let _g = span("test.span.disabled");
+            assert_eq!(depth(), 0);
+        }
+        set_enabled(true);
+    }
+}

@@ -16,6 +16,7 @@
 //! winner's cached value. Distinct keys almost always land on distinct
 //! stripes and compute truly concurrently.
 
+use lan_obs::{names, Counter};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,20 +43,53 @@ impl<F: Fn(u32) -> f64 + Sync> QueryDistance for F {
     }
 }
 
+/// Pre-resolved global metric handles for one cache. Resolved once at
+/// cache construction (the registry lock is never taken inside the
+/// stripe-locked distance section — increments are lock-free atomics).
+struct CacheMetrics {
+    calls: &'static Counter,
+    hit: &'static Counter,
+    miss: &'static Counter,
+}
+
 /// Memoizing, counting wrapper around a [`QueryDistance`]. One per query.
 pub struct DistCache<'a> {
     inner: &'a dyn QueryDistance,
     stripes: Vec<Mutex<HashMap<u32, f64>>>,
     ndc: AtomicUsize,
+    hits: AtomicUsize,
+    metrics: Option<CacheMetrics>,
 }
 
 impl<'a> DistCache<'a> {
-    /// Wraps a query-distance oracle.
+    /// Wraps a query-distance oracle; misses and hits feed the global
+    /// `ged.calls` / `ged.cache.{hit,miss}` metrics.
     pub fn new(inner: &'a dyn QueryDistance) -> Self {
+        Self::build(
+            inner,
+            Some(CacheMetrics {
+                calls: lan_obs::counter(names::GED_CALLS),
+                hit: lan_obs::counter(names::GED_CACHE_HIT),
+                miss: lan_obs::counter(names::GED_CACHE_MISS),
+            }),
+        )
+    }
+
+    /// Wraps an oracle whose computations are *not* graph distances (e.g.
+    /// L2route's embedding-space routing) — local `ndc()`/`hits()` still
+    /// count, but the global `ged.*` metrics are untouched, keeping
+    /// `ged.calls` equal to the paper's NDC.
+    pub fn new_uncounted(inner: &'a dyn QueryDistance) -> Self {
+        Self::build(inner, None)
+    }
+
+    fn build(inner: &'a dyn QueryDistance, metrics: Option<CacheMetrics>) -> Self {
         DistCache {
             inner,
             stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             ndc: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            metrics,
         }
     }
 
@@ -68,11 +102,21 @@ impl<'a> DistCache<'a> {
     pub fn get(&self, id: u32) -> f64 {
         let mut map = self.stripe(id).lock().expect("stripe poisoned");
         match map.entry(id) {
-            Entry::Occupied(e) => *e.get(),
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.hit.inc();
+                }
+                *e.get()
+            }
             Entry::Vacant(e) => {
                 let d = self.inner.distance(id);
                 e.insert(d);
                 self.ndc.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.miss.inc();
+                    m.calls.inc();
+                }
                 d
             }
         }
@@ -90,6 +134,11 @@ impl<'a> DistCache<'a> {
     /// Number of unique distance computations so far (the paper's NDC).
     pub fn ndc(&self) -> usize {
         self.ndc.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache hits so far (lookups served without computing).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -117,14 +166,37 @@ pub struct PairCache<'a> {
     inner: &'a dyn PairDistance,
     stripes: Vec<Mutex<HashMap<u64, f64>>>,
     computed: AtomicUsize,
+    hits: AtomicUsize,
+    metrics: Option<CacheMetrics>,
 }
 
 impl<'a> PairCache<'a> {
+    /// Wraps a pair-distance oracle; misses and hits feed the global
+    /// `pair.calls` / `pair.cache.{hit,miss}` metrics.
     pub fn new(inner: &'a dyn PairDistance) -> Self {
+        Self::build(
+            inner,
+            Some(CacheMetrics {
+                calls: lan_obs::counter(names::PAIR_CALLS),
+                hit: lan_obs::counter(names::PAIR_CACHE_HIT),
+                miss: lan_obs::counter(names::PAIR_CACHE_MISS),
+            }),
+        )
+    }
+
+    /// Wraps an oracle whose computations are not graph distances (e.g.
+    /// embedding-space L2) — the global `pair.*` metrics are untouched.
+    pub fn new_uncounted(inner: &'a dyn PairDistance) -> Self {
+        Self::build(inner, None)
+    }
+
+    fn build(inner: &'a dyn PairDistance, metrics: Option<CacheMetrics>) -> Self {
         PairCache {
             inner,
             stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             computed: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            metrics,
         }
     }
 
@@ -137,11 +209,21 @@ impl<'a> PairCache<'a> {
         let stripe = ((key ^ (key >> 32)) as usize) % STRIPES;
         let mut map = self.stripes[stripe].lock().expect("stripe poisoned");
         match map.entry(key) {
-            Entry::Occupied(e) => *e.get(),
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.hit.inc();
+                }
+                *e.get()
+            }
             Entry::Vacant(e) => {
                 let d = self.inner.distance((key >> 32) as u32, key as u32);
                 e.insert(d);
                 self.computed.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.miss.inc();
+                    m.calls.inc();
+                }
                 d
             }
         }
@@ -149,6 +231,11 @@ impl<'a> PairCache<'a> {
 
     pub fn computed(&self) -> usize {
         self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache hits so far (lookups served without computing).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -171,6 +258,52 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.peek(3), Some(6.0));
         assert_eq!(cache.peek(9), None);
+    }
+
+    #[test]
+    fn repeated_workload_has_positive_hit_rate() {
+        // A routing workload revisits nodes constantly (every hop re-ranks
+        // neighbors some of which were already scored); model that with a
+        // lookup sequence containing repeats and assert the hit counters
+        // and the global ged.* metrics both see the hits.
+        let before = lan_obs::snapshot();
+        let f = |id: u32| id as f64;
+        let cache = DistCache::new(&f);
+        let workload = [3u32, 7, 3, 9, 7, 3, 11, 9, 3];
+        for id in workload {
+            cache.get(id);
+        }
+        assert_eq!(cache.ndc(), 4); // {3, 7, 9, 11}
+        assert_eq!(cache.hits(), 5);
+        let hit_rate = cache.hits() as f64 / workload.len() as f64;
+        assert!(hit_rate > 0.0);
+        if lan_obs::enabled() {
+            let d = lan_obs::snapshot().diff(&before);
+            assert!(d.counter(names::GED_CACHE_HIT) >= 5);
+            assert!(d.counter(names::GED_CALLS) >= 4);
+        }
+
+        // The uncounted constructor must leave the global metrics alone.
+        let before = lan_obs::snapshot();
+        let quiet = DistCache::new_uncounted(&f);
+        quiet.get(1);
+        quiet.get(1);
+        assert_eq!(quiet.ndc(), 1);
+        assert_eq!(quiet.hits(), 1);
+        let d = lan_obs::snapshot().diff(&before);
+        assert_eq!(d.counter(names::GED_CALLS), 0);
+        assert_eq!(d.counter(names::GED_CACHE_HIT), 0);
+    }
+
+    #[test]
+    fn pair_cache_counts_hits() {
+        let f = |a: u32, b: u32| (a + b) as f64;
+        let cache = PairCache::new(&f);
+        cache.get(1, 2);
+        cache.get(2, 1);
+        cache.get(1, 2);
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::metric::{DistCache, QueryDistance};
 use crate::pool::{Pool, RouterState};
 use crate::routing::RouteResult;
+use lan_obs::{names, trace, Counter};
 use std::collections::HashMap;
 
 /// Ranks and partitions a node's neighbors into batches, best (predicted
@@ -95,9 +96,55 @@ struct NpRouter<'a, R: NeighborRanker> {
     batches: HashMap<u32, BatchState>,
     w: Pool,
     state: RouterState,
+    // Pre-resolved metric handles — increments on the routing hot loop are
+    // single relaxed atomics, never registry lookups.
+    m_hops: &'static Counter,
+    m_opened: &'static Counter,
+    m_prunes: &'static Counter,
+    /// Query id when this query is being traced (`LAN_TRACE=route`).
+    trace_q: Option<u64>,
+    /// Hop index within this query (exploration order).
+    hop: u32,
 }
 
 impl<'a, R: NeighborRanker> NpRouter<'a, R> {
+    /// Records the exploration of node `g` — one routing hop — to the
+    /// global metrics and, when traced, the per-query hop trace.
+    fn note_hop(&mut self, stage: u8, g: u32, d: f64, gamma: f64) {
+        self.m_hops.inc();
+        let q = match self.trace_q {
+            Some(q) => q,
+            None => return,
+        };
+        let (total, opened) = self
+            .batches
+            .get(&g)
+            .map(|st| (st.batches.len() as u32, st.opened as u32))
+            .unwrap_or((0, 0));
+        trace::emit_hop(&trace::HopEvent {
+            q,
+            hop: self.hop,
+            stage,
+            node: g,
+            dist: d,
+            gamma,
+            neighbors: self.adj[g as usize].len() as u32,
+            batches_total: total,
+            batches_opened: opened,
+            ndc: self.cache.ndc() as u64,
+            cache_hits: self.cache.hits() as u64,
+        });
+        self.hop += 1;
+    }
+
+    /// Records a γ-threshold stop that left batches of `g` unopened.
+    fn note_prune(&mut self, g: u32) {
+        if let Some(st) = self.batches.get(&g) {
+            if st.opened < st.batches.len() {
+                self.m_prunes.inc();
+            }
+        }
+    }
     fn batch_state(&mut self, g: u32) -> &mut BatchState {
         let d_node = self.cache.get(g);
         let adj = self.adj;
@@ -127,6 +174,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
                 }
             }
             if opened > 0 && farthest >= gamma {
+                self.note_prune(g);
                 return;
             }
         }
@@ -144,6 +192,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
             if done {
                 return;
             }
+            self.m_opened.inc();
             let mut hit = false;
             for nb in batch {
                 let d = self.cache.get(nb);
@@ -153,6 +202,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
                 }
             }
             if hit {
+                self.note_prune(g);
                 return;
             }
         }
@@ -180,6 +230,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
                     }
                 }
                 if hit {
+                    self.note_prune(g);
                     return;
                 }
             }
@@ -199,6 +250,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
             if done {
                 return;
             }
+            self.m_opened.inc();
             let mut hit = false;
             for nb in batch {
                 let d = self.cache.get(nb);
@@ -208,6 +260,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
                 }
             }
             if hit {
+                self.note_prune(g);
                 return;
             }
         }
@@ -241,6 +294,11 @@ pub fn np_route<R: NeighborRanker>(
         batches: HashMap::new(),
         w: Pool::new(),
         state: RouterState::new(),
+        m_hops: lan_obs::counter(names::ROUTE_HOPS),
+        m_opened: lan_obs::counter(names::ROUTE_BATCHES_OPENED),
+        m_prunes: lan_obs::counter(names::ROUTE_GAMMA_PRUNES),
+        trace_q: trace::active_query(),
+        hop: 0,
     };
     for &e in entries {
         let d = cache.get(e);
@@ -254,6 +312,7 @@ pub fn np_route<R: NeighborRanker>(
         }
         r.rank_expl(g.id, g.dist);
         r.state.mark_explored(g.id);
+        r.note_hop(1, g.id, g.dist, g.dist);
         r.w.resize(b, &r.state);
     }
 
@@ -261,6 +320,9 @@ pub fn np_route<R: NeighborRanker>(
     let g_flo = r.w.min_entry().expect("pool cannot be empty after stage 1");
     let mut gamma = g_flo.dist + ds;
     loop {
+        if let Some(q) = r.trace_q {
+            trace::emit_gamma(q, gamma);
+        }
         for g in r.state.order.clone() {
             r.all_quali_neigh(g, gamma);
         }
@@ -271,6 +333,7 @@ pub fn np_route<R: NeighborRanker>(
         while let Some(g) = r.w.min_unexplored_within(gamma, &r.state) {
             r.rank_expl(g.id, gamma);
             r.state.mark_explored(g.id);
+            r.note_hop(2, g.id, g.dist, gamma);
             r.w.resize(b, &r.state);
         }
         gamma += ds;

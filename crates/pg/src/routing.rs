@@ -38,6 +38,7 @@ pub fn beam_search(
     k: usize,
 ) -> RouteResult {
     assert!(b >= 1, "beam size must be at least 1");
+    let m_hops = lan_obs::counter(lan_obs::names::ROUTE_HOPS);
     let mut w = Pool::new();
     let mut state = RouterState::new();
     for &e in entries {
@@ -49,6 +50,7 @@ pub fn beam_search(
             w.add(nb, cache.get(nb));
         }
         state.mark_explored(g);
+        m_hops.inc();
         w.resize(b, &state);
     }
 

@@ -10,5 +10,6 @@ pub use lan_ged as ged;
 pub use lan_gnn as gnn;
 pub use lan_graph as graph;
 pub use lan_models as models;
+pub use lan_obs as obs;
 pub use lan_pg as pg;
 pub use lan_tensor as tensor;
