@@ -6,6 +6,7 @@ use crate::index::LanIndex;
 use crate::l2route::L2RouteIndex;
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
 use lan_obs::trace;
+use lan_pg::budget::{BudgetCtx, QueryBudget, Termination};
 use std::time::{Duration, Instant};
 
 /// One point of a recall–QPS curve.
@@ -112,11 +113,15 @@ pub fn run_point(
     init: InitStrategy,
     route: RouteStrategy,
 ) -> (CurvePoint, Breakdown) {
+    // The env budget is read once per batch; unset variables mean an
+    // unlimited budget, which is guaranteed to change nothing.
+    let budget = QueryBudget::from_env();
     let mut agg = Aggregate::default();
     for (i, &qi) in query_idx.iter().enumerate() {
         let q = &index.dataset.queries[qi];
         let _t = trace::query(qi as u64);
-        let out = index.search_with(q, k, b, init, route, qi as u64);
+        let ctx = BudgetCtx::new(&budget);
+        let out = index.search_with_budget(q, k, b, init, route, qi as u64, &ctx);
         agg.add(&out, truths[i], k);
     }
     let wall = agg.breakdown.total;
@@ -142,11 +147,15 @@ pub fn run_point_parallel(
     init: InitStrategy,
     route: RouteStrategy,
 ) -> (CurvePoint, Breakdown) {
+    let budget = QueryBudget::from_env();
     let t0 = Instant::now();
     let outs: Vec<QueryOutcome> = lan_par::par_map(query_idx, |&qi| {
         let q = &index.dataset.queries[qi];
         let _t = trace::query(qi as u64);
-        index.search_with(q, k, b, init, route, qi as u64)
+        // One context per query (not per batch): each query gets the full
+        // budget, exactly like the sequential path above.
+        let ctx = BudgetCtx::new(&budget);
+        index.search_with_budget(q, k, b, init, route, qi as u64, &ctx)
     });
     let wall = t0.elapsed();
 
@@ -196,6 +205,7 @@ pub fn l2route_curve(
                     total_time: t,
                     distance_time: dt,
                     gnn_time: Duration::ZERO,
+                    termination: Termination::Converged,
                 };
                 agg.add(&out, truths[i], k);
             }
@@ -210,12 +220,14 @@ pub fn l2route_curve(
 /// never reaches the target.
 pub fn qps_at_recall(curve: &[CurvePoint], target: f64) -> Option<f64> {
     // Walk points sorted by recall; linear interpolation in (recall, qps).
-    let mut pts: Vec<&CurvePoint> = curve.iter().collect();
-    pts.sort_by(|a, b| {
-        a.recall
-            .partial_cmp(&b.recall)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Non-finite points (NaN recall from an empty batch, infinite QPS from
+    // a zero-wall-clock run) cannot be interpolated through — drop them
+    // instead of letting NaN scramble the sort order.
+    let mut pts: Vec<&CurvePoint> = curve
+        .iter()
+        .filter(|p| p.recall.is_finite() && p.qps.is_finite())
+        .collect();
+    pts.sort_by(|a, b| a.recall.total_cmp(&b.recall));
     if pts.is_empty() || pts.last().unwrap().recall < target {
         return None;
     }
@@ -255,6 +267,24 @@ mod tests {
         assert!((mid - 30.0).abs() < 1e-9);
         assert_eq!(qps_at_recall(&curve, 1.01), None);
         assert_eq!(qps_at_recall(&[], 0.5), None);
+    }
+
+    #[test]
+    fn qps_interpolation_ignores_nan_points() {
+        // A NaN recall point used to poison the sort (partial_cmp ties):
+        // depending on its position it could land "above" every finite
+        // point and be read as the curve maximum. It must be ignored.
+        let curve = vec![
+            cp(0.8, 100.0),
+            cp(f64::NAN, 1e9),
+            cp(1.0, 10.0),
+            cp(0.9, f64::INFINITY),
+        ];
+        assert_eq!(qps_at_recall(&curve, 0.7), Some(100.0));
+        let mid = qps_at_recall(&curve, 0.9).unwrap();
+        assert!((mid - 55.0).abs() < 1e-9, "got {mid}");
+        // An all-NaN curve never reaches any target.
+        assert_eq!(qps_at_recall(&[cp(f64::NAN, 1.0)], 0.0), None);
     }
 
     #[test]

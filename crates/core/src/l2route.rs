@@ -73,11 +73,9 @@ impl L2RouteIndex {
         let gcache = DistCache::new(&qd);
         let mut verified: Vec<(f64, u32)> =
             cand.ids().iter().map(|&id| (gcache.get(id), id)).collect();
-        verified.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        // total_cmp: a NaN distance (poisoned metric) sorts after every
+        // finite candidate instead of scrambling the comparator.
+        verified.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         verified.truncate(k);
         let ndc = gcache.ndc();
         drop(gcache);

@@ -10,6 +10,13 @@
 //! * [`harness`] — recall–QPS curves, time breakdowns, and the
 //!   interpolation helpers used by the figure-regeneration binaries.
 //!
+//! Queries run under an optional [`QueryBudget`] (NDC cap, wall-clock
+//! deadline, hop cap) with cooperative cancellation across shards and
+//! graceful degradation — see `lan_pg::budget` and the
+//! `search_with_budget` / `search_budgeted` / `search_par_budgeted`
+//! entry points. Deterministic fault injection for distance computations
+//! lives in `lan_pg::faults` (`LAN_FAULTS`).
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -32,5 +39,6 @@ pub mod sharded;
 pub use harness::{qps_at_recall, Breakdown, CurvePoint};
 pub use index::{LanConfig, LanIndex};
 pub use l2route::L2RouteIndex;
+pub use lan_pg::budget::{BudgetCtx, QueryBudget, Termination};
 pub use query::{InitStrategy, QueryOutcome, RouteStrategy};
 pub use sharded::ShardedLanIndex;

@@ -10,8 +10,10 @@ use crate::index::LanIndex;
 use lan_graph::Graph;
 use lan_models::LearnedRanker;
 use lan_obs::{names, span, TimerCell};
-use lan_pg::np_route::np_route;
-use lan_pg::{beam_search, DistCache};
+use lan_pg::budget::{budgeted_get, BudgetCtx, Termination};
+use lan_pg::faults::{self, FaultMetrics};
+use lan_pg::np_route::np_route_budgeted;
+use lan_pg::{beam_search_budgeted, DistCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -50,6 +52,9 @@ pub struct QueryOutcome {
     pub distance_time: Duration,
     /// Time inside GNN inference (cross-graph learning + heads).
     pub gnn_time: Duration,
+    /// How the query ended: [`Termination::Converged`] unless a budget
+    /// bound it, in which case `results` are best-so-far.
+    pub termination: Termination,
 }
 
 impl QueryOutcome {
@@ -88,6 +93,32 @@ impl LanIndex {
         route: RouteStrategy,
         seed: u64,
     ) -> QueryOutcome {
+        self.search_with_budget(q, k, b, init, route, seed, &BudgetCtx::unlimited())
+    }
+
+    /// [`Self::search_with`] under a query budget. `ctx` carries the NDC /
+    /// deadline / hop bounds and the cooperative cancellation flag; shard
+    /// fan-out shares one context so one exhausted shard stops its
+    /// siblings. With an unlimited context the behavior — results, NDC,
+    /// exploration — is bit-identical to [`Self::search_with`]. Budget
+    /// exhaustion degrades gracefully: best-so-far results, tagged in
+    /// [`QueryOutcome::termination`], never a panic or an error.
+    ///
+    /// When a fault plan is active (`LAN_FAULTS` or
+    /// `lan_pg::faults::set_plan`), distance computations fault
+    /// deterministically and recover by retrying once, then falling back
+    /// to the approximate GED metric.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with_budget(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+    ) -> QueryOutcome {
         let t_start = Instant::now();
         let _q_span = span("query");
         lan_obs::counter(names::QUERY_COUNT).inc();
@@ -96,7 +127,23 @@ impl LanIndex {
         // TimerCell is ungated — QueryOutcome::distance_time stays identical
         // whether metrics are enabled or not.
         let dist_timer = TimerCell::new();
-        let qd = |id: u32| dist_timer.time(|| self.dataset.distance(q, id));
+        // The fault plan and counters resolve once per query, outside the
+        // distance closure; the query seed salts the deterministic draws
+        // so different queries fault on different objects.
+        let fault_plan = faults::active_plan().map(|p| (p, FaultMetrics::resolve()));
+        let qd = |id: u32| {
+            dist_timer.time(|| match &fault_plan {
+                Some((plan, fm)) => faults::faulted_distance(
+                    plan,
+                    fm,
+                    seed,
+                    id,
+                    || self.dataset.distance(q, id),
+                    || self.dataset.distance_fallback(q, id),
+                ),
+                None => self.dataset.distance(q, id),
+            })
+        };
         let cache = DistCache::new(&qd);
         self.models.gnn_timer.reset();
 
@@ -107,24 +154,27 @@ impl LanIndex {
         };
         let needs_ctx =
             matches!(route, RouteStrategy::LanRoute { .. }) || init == InitStrategy::LanIs;
-        let ctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
+        let qctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
 
         // --- Initial node selection. ---
         let init_span = span("query.init");
         let entries: Vec<u32> = match init {
-            InitStrategy::HnswIs => vec![self.pg.hnsw_entry(&cache)],
+            InitStrategy::HnswIs => vec![self.pg.hnsw_entry_budgeted(&cache, ctx)],
             InitStrategy::RandIs => {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x9a7d);
                 vec![rng.gen_range(0..self.pg.len()) as u32]
             }
             InitStrategy::LanIs => {
-                let ctx = ctx.as_ref().expect("LAN_IS requires a query context");
-                let nh = self.models.predicted_neighborhood(ctx, use_cg);
+                let qc = qctx.as_ref().expect("LAN_IS requires a query context");
+                let nh = self.models.predicted_neighborhood(qc, use_cg);
                 if nh.is_empty() {
-                    vec![self.pg.hnsw_entry(&cache)]
+                    vec![self.pg.hnsw_entry_budgeted(&cache, ctx)]
                 } else {
                     // Sample s graphs from N̂_Q, compute their (counted)
-                    // distances, keep the best one (paper §V-A).
+                    // distances, keep the best one (paper §V-A). Under an
+                    // exhausted budget the best of the sampled prefix (or
+                    // no entry at all) is kept — routing degrades rather
+                    // than panics.
                     let mut rng = StdRng::seed_from_u64(seed ^ 0x1a41);
                     let s = self.cfg.model.init_samples.min(nh.len());
                     let mut picked: Vec<u32> = Vec::with_capacity(s);
@@ -134,17 +184,20 @@ impl LanIndex {
                             picked.push(g);
                         }
                     }
-                    let best = picked
-                        .into_iter()
-                        .min_by(|&a, &b| {
-                            cache
-                                .get(a)
-                                .partial_cmp(&cache.get(b))
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then(a.cmp(&b))
-                        })
-                        .expect("s >= 1");
-                    vec![best]
+                    let mut best: Option<(f64, u32)> = None;
+                    for g in picked {
+                        let Ok(d) = budgeted_get(&cache, ctx, g) else {
+                            break;
+                        };
+                        let better = match best {
+                            None => true,
+                            Some((bd, bid)) => d.total_cmp(&bd).then(g.cmp(&bid)).is_lt(),
+                        };
+                        if better {
+                            best = Some((d, g));
+                        }
+                    }
+                    best.map(|(_, g)| vec![g]).unwrap_or_default()
                 }
             }
         };
@@ -154,16 +207,39 @@ impl LanIndex {
         // --- Routing. ---
         let route_span = span("query.route");
         let route_result = match route {
-            RouteStrategy::HnswRoute => beam_search(self.pg.base(), &cache, &entries, b, k),
+            RouteStrategy::HnswRoute => {
+                beam_search_budgeted(self.pg.base(), &cache, &entries, b, k, ctx)
+            }
             RouteStrategy::LanRoute { use_cg } => {
-                let ctx = ctx.as_ref().expect("LAN_Route requires a query context");
-                let ranker = LearnedRanker::new(&self.models, ctx, use_cg);
-                np_route(self.pg.base(), &cache, &ranker, &entries, b, k, self.cfg.ds)
+                let qc = qctx.as_ref().expect("LAN_Route requires a query context");
+                let ranker = LearnedRanker::new(&self.models, qc, use_cg);
+                np_route_budgeted(
+                    self.pg.base(),
+                    &cache,
+                    &ranker,
+                    &entries,
+                    b,
+                    k,
+                    self.cfg.ds,
+                    ctx,
+                )
             }
         };
         drop(route_span);
 
         drop(cache);
+        // The recorded cause is the primary outcome: it covers init-phase
+        // exhaustion (an empty entry list "converges" trivially) and keeps
+        // the original reason when routing only saw the cooperative-cancel
+        // flag (which reads as a generic `Degraded` locally). The routing
+        // tag is the fallback for stops that never recorded a cause.
+        let termination = match ctx.cause() {
+            Some(t) => t,
+            None => route_result.termination,
+        };
+        if termination.is_degraded() {
+            lan_obs::counter(names::QUERY_DEGRADED).inc();
+        }
         let distance_time = dist_timer.total();
         QueryOutcome {
             results: route_result.results,
@@ -171,6 +247,7 @@ impl LanIndex {
             total_time: t_start.elapsed(),
             distance_time,
             gnn_time: self.models.gnn_timer.total(),
+            termination,
         }
     }
 

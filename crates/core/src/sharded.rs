@@ -12,6 +12,7 @@ use crate::index::{LanConfig, LanIndex};
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
 use lan_datasets::{Dataset, DatasetSpec, WorkloadSplit};
 use lan_graph::Graph;
+use lan_pg::budget::{BudgetCtx, QueryBudget, Termination};
 use std::time::Instant;
 
 /// A database partitioned into independently indexed shards.
@@ -104,14 +105,35 @@ impl ShardedLanIndex {
         route: RouteStrategy,
         seed: u64,
     ) -> QueryOutcome {
+        self.search_budgeted(q, k, b, init, route, seed, &QueryBudget::unlimited())
+    }
+
+    /// [`ShardedLanIndex::search`] under a query budget. All shards share
+    /// one [`BudgetCtx`], so the NDC cap is global across the query — and
+    /// once one shard exhausts it, the remaining shards are skipped
+    /// entirely (their best-so-far is simply absent from the merge).
+    /// Unlimited budgets are bit-identical to [`ShardedLanIndex::search`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_budgeted(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        budget: &QueryBudget,
+    ) -> QueryOutcome {
         let t0 = Instant::now();
-        let per_shard: Vec<QueryOutcome> = self
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(s, shard)| shard.search_with(q, k, b, init, route, seed ^ s as u64))
-            .collect();
-        self.merge(per_shard, k, t0)
+        let ctx = BudgetCtx::new(budget);
+        let mut per_shard: Vec<QueryOutcome> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            if ctx.cancelled() {
+                break;
+            }
+            per_shard.push(shard.search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx));
+        }
+        self.merge(per_shard, k, t0, ctx.termination())
     }
 
     /// Parallel k-ANN: every shard searched concurrently, merged exactly
@@ -129,22 +151,53 @@ impl ShardedLanIndex {
         route: RouteStrategy,
         seed: u64,
     ) -> QueryOutcome {
+        self.search_par_budgeted(q, k, b, init, route, seed, &QueryBudget::unlimited())
+    }
+
+    /// [`ShardedLanIndex::search_par`] under a query budget: the shared
+    /// [`BudgetCtx`] crosses the `lan-par` fan-out, so the NDC cap is a
+    /// strict *global* bound (reservations are atomic) and the first
+    /// exhausted shard cooperatively cancels its siblings mid-flight.
+    ///
+    /// Unlimited budgets stay bit-identical to the sequential path. With a
+    /// *finite* budget the per-shard results depend on which shard's
+    /// computations won the budget race, so parallel degraded results are
+    /// best-so-far but not run-to-run deterministic — only the invariants
+    /// (NDC ≤ cap, degraded tag set) are guaranteed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_par_budgeted(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        budget: &QueryBudget,
+    ) -> QueryOutcome {
         let t0 = Instant::now();
+        let ctx = BudgetCtx::new(budget);
         let idx: Vec<usize> = (0..self.shards.len()).collect();
         // Worker threads have empty trace thread-locals; re-attach the
         // caller's traced query id so per-shard hops keep their `q`.
         let traced = lan_obs::trace::active_query();
         let per_shard: Vec<QueryOutcome> = lan_par::par_map(&idx, |&s| {
             let _t = lan_obs::trace::propagate(traced);
-            self.shards[s].search_with(q, k, b, init, route, seed ^ s as u64)
+            self.shards[s].search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx)
         });
-        self.merge(per_shard, k, t0)
+        self.merge(per_shard, k, t0, ctx.termination())
     }
 
     /// Merges per-shard outcomes (ordered by shard index) into one global
     /// outcome: local ids remapped through `global_ids`, NDC and the
     /// distance/GNN time components summed, `(distance, id)`-sorted top-k.
-    fn merge(&self, per_shard: Vec<QueryOutcome>, k: usize, t0: Instant) -> QueryOutcome {
+    fn merge(
+        &self,
+        per_shard: Vec<QueryOutcome>,
+        k: usize,
+        t0: Instant,
+        termination: Termination,
+    ) -> QueryOutcome {
         let mut merged: Vec<(f64, u32)> = Vec::new();
         let mut ndc = 0usize;
         let mut distance_time = std::time::Duration::ZERO;
@@ -163,11 +216,7 @@ impl ShardedLanIndex {
                     .map(|(d, local)| (d, self.global_ids[s][local as usize])),
             );
         }
-        merged.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         merged.truncate(k);
         QueryOutcome {
             results: merged,
@@ -175,6 +224,7 @@ impl ShardedLanIndex {
             total_time: t0.elapsed(),
             distance_time,
             gnn_time,
+            termination,
         }
     }
 }

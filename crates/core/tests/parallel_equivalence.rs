@@ -15,7 +15,9 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 
 fn force_threads() {
-    std::env::set_var("LAN_THREADS", "4");
+    // Serialized via the shared env lock — a raw set_var would race the
+    // num_threads() readers of concurrently running tests.
+    lan_par::testenv::with_env(&[], || std::env::set_var("LAN_THREADS", "4"));
 }
 
 fn tiny_cfg() -> LanConfig {

@@ -98,20 +98,44 @@ impl Dataset {
     }
 
     /// The operational distance between a query graph and database graph
-    /// `id` (see [`DatasetSpec::metric`]).
+    /// `id` (see [`DatasetSpec::metric`]). Total even under
+    /// `GedMethod::Exact`: a timeout falls back to the approximate
+    /// [`Self::fallback_metric`] (counted in `ged.timeout_fallback`)
+    /// instead of panicking mid-query.
     pub fn distance(&self, q: &Graph, id: u32) -> f64 {
-        ged(q, &self.graphs[id as usize], &self.spec.metric).expect("operational metrics are total")
+        self.total_ged(q, &self.graphs[id as usize])
     }
 
     /// Symmetric operational distance between two database graphs
-    /// (index-construction time).
+    /// (index-construction time). Total, like [`Self::distance`].
     pub fn pair_distance(&self, a: u32, b: u32) -> f64 {
-        ged(
-            &self.graphs[a as usize],
-            &self.graphs[b as usize],
-            &self.spec.metric,
-        )
-        .expect("operational metrics are total")
+        self.total_ged(&self.graphs[a as usize], &self.graphs[b as usize])
+    }
+
+    /// The approximate metric a timed-out (or fault-injected) operational
+    /// distance falls back to. BestOfThree is total and, per the paper's
+    /// ground-truth protocol, the tightest cheap upper bound available.
+    pub fn fallback_metric(&self) -> lan_ged::GedMethod {
+        lan_ged::GedMethod::BestOfThree { beam_width: 16 }
+    }
+
+    /// The operational distance, with the approximate fallback applied to
+    /// any `Exact` timeout. Never panics.
+    fn total_ged(&self, a: &Graph, b: &Graph) -> f64 {
+        match ged(a, b, &self.spec.metric) {
+            Some(d) => d,
+            None => {
+                lan_obs::counter(lan_obs::names::GED_TIMEOUT_FALLBACK).inc();
+                ged(a, b, &self.fallback_metric()).expect("BestOfThree is total")
+            }
+        }
+    }
+
+    /// The distance between a query and database graph `id` under the
+    /// approximate fallback metric — what the fault-injection policy uses
+    /// when the primary computation faults twice.
+    pub fn distance_fallback(&self, q: &Graph, id: u32) -> f64 {
+        ged(q, &self.graphs[id as usize], &self.fallback_metric()).expect("BestOfThree is total")
     }
 
     /// Average node count over the database.
@@ -143,11 +167,7 @@ impl Dataset {
         let n = self.graphs.len();
         let mut all: Vec<(f64, u32)> =
             lan_par::par_map_indices(n, |i| (self.distance(q, i as u32), i as u32));
-        all.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         all.truncate(k);
         all
     }
@@ -276,6 +296,24 @@ mod tests {
             avg <= 10.0,
             "queries too far from database: avg NN distance {avg}"
         );
+    }
+
+    #[test]
+    fn exact_timeout_falls_back_instead_of_panicking() {
+        // An Exact metric with a zero timeout times out on any non-trivial
+        // pair; distance() must recover with the approximate fallback.
+        let mut d = tiny(DatasetSpec::syn());
+        d.spec.metric = lan_ged::GedMethod::Exact { timeout_ms: 0 };
+        let q = d.queries[0].clone();
+        for id in 0..4u32 {
+            let dist = d.distance(&q, id);
+            assert!(dist.is_finite() && dist >= 0.0);
+        }
+        let p = d.pair_distance(0, 1);
+        assert!(p.is_finite() && p >= 0.0);
+        // The fallback is the documented approximate metric.
+        let fb = d.distance_fallback(&q, 0);
+        assert!(fb.is_finite() && fb >= 0.0);
     }
 
     #[test]

@@ -82,6 +82,26 @@ pub mod names {
     pub const GNN_EMBED_CALLS: &str = "gnn.embed_calls";
     /// Queries answered (one per `search_with` / merged sharded query).
     pub const QUERY_COUNT: &str = "query.count";
+    /// Queries that ended with a non-`Converged` `Termination` — a
+    /// budget bound or a cooperative cancellation degraded the result.
+    pub const QUERY_DEGRADED: &str = "query.degraded";
+    /// Queries stopped by the NDC cap (counted once per query).
+    pub const BUDGET_NDC_EXHAUSTED: &str = "budget.ndc_exhausted";
+    /// Queries stopped by the wall-clock deadline (once per query).
+    pub const BUDGET_DEADLINE_EXCEEDED: &str = "budget.deadline_exceeded";
+    /// Queries whose first stop cause was a local bound (hop cap) or a
+    /// sibling-shard cancellation (once per query).
+    pub const BUDGET_CANCELLED: &str = "budget.cancelled";
+    /// Faults injected by the `LAN_FAULTS` harness (timeouts + failures).
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Faulted distance computations retried against the primary metric.
+    pub const FAULT_RETRIED: &str = "fault.retried";
+    /// Faulted computations that fell back to the approximate metric
+    /// after the retry also faulted.
+    pub const FAULT_FALLBACK: &str = "fault.fallback";
+    /// Exact-GED timeouts recovered by recomputing with the approximate
+    /// fallback metric instead of panicking.
+    pub const GED_TIMEOUT_FALLBACK: &str = "ged.timeout_fallback";
     /// Routing-trace events dropped because the ring buffer was full.
     pub const TRACE_DROPPED: &str = "trace.dropped";
 

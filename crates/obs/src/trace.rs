@@ -192,6 +192,14 @@ pub fn emit_gamma(q: u64, gamma: f64) {
     ));
 }
 
+/// Records how a traced query ended: its [`Termination`] name (e.g.
+/// `"converged"`, `"ndc_budget"`) and the final NDC.
+pub fn emit_end(q: u64, termination: &str, ndc: u64) {
+    push(format!(
+        "{{\"ev\":\"end\",\"q\":{q},\"term\":\"{termination}\",\"ndc\":{ndc}}}"
+    ));
+}
+
 fn push(line: String) {
     let dropped = {
         let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());

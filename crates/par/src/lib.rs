@@ -22,6 +22,65 @@
 //! the property the parallel == sequential equivalence tests in `lan-core`
 //! rely on.
 
+/// Serialized, scoped environment-variable mutation for tests.
+///
+/// Environment variables are process-wide: a test calling
+/// `set_var("LAN_THREADS", ..)` under the parallel test harness races
+/// every concurrent [`num_threads`] reader. [`testenv::with_env`] takes a
+/// global lock for the whole closure, applies the overrides, and restores
+/// the previous values afterwards — even when the closure panics. Every
+/// workspace test that mutates a `LAN_*` variable (`LAN_THREADS`, the
+/// budget variables, `LAN_FAULTS`) must go through it.
+pub mod testenv {
+    use std::sync::{Mutex, MutexGuard};
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds the env lock without mutating anything — for tests that read
+    /// env-sensitive state and must not interleave with a mutator.
+    pub fn lock() -> MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Restores one variable to its pre-override value on drop, so the
+    /// environment is clean even when the closure panics.
+    struct Restore {
+        key: String,
+        prev: Option<String>,
+    }
+
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            match &self.prev {
+                Some(v) => std::env::set_var(&self.key, v),
+                None => std::env::remove_var(&self.key),
+            }
+        }
+    }
+
+    /// Runs `f` with the given overrides applied (`None` unsets the
+    /// variable) under the global env lock; previous values are restored
+    /// afterwards, panic or not.
+    pub fn with_env<R>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+        let _l = lock();
+        let _restore: Vec<Restore> = vars
+            .iter()
+            .map(|&(k, v)| {
+                let prev = std::env::var(k).ok();
+                match v {
+                    Some(val) => std::env::set_var(k, val),
+                    None => std::env::remove_var(k),
+                }
+                Restore {
+                    key: k.to_string(),
+                    prev,
+                }
+            })
+            .collect();
+        f()
+    }
+}
+
 /// Worker count used by the helpers: `LAN_THREADS` env override when set
 /// (clamped to at least 1), else the host's available parallelism.
 pub fn num_threads() -> usize {
@@ -157,16 +216,34 @@ mod tests {
         }
     }
 
-    // The only test that mutates LAN_THREADS (env vars are process-wide;
-    // the other tests must stay env-agnostic to avoid races).
+    // The only test that mutates LAN_THREADS — through the serialized
+    // testenv helper (raw set_var raced concurrent num_threads readers
+    // under the parallel test harness).
     #[test]
     fn lan_threads_env_override() {
-        std::env::set_var("LAN_THREADS", "1");
-        assert_eq!(num_threads(), 1);
-        let items: Vec<u32> = (0..20).collect();
-        assert_eq!(par_map(&items, |&x| x + 1).len(), 20);
-        std::env::set_var("LAN_THREADS", "4");
-        assert_eq!(num_threads(), 4);
-        std::env::remove_var("LAN_THREADS");
+        testenv::with_env(&[("LAN_THREADS", Some("1"))], || {
+            assert_eq!(num_threads(), 1);
+            let items: Vec<u32> = (0..20).collect();
+            assert_eq!(par_map(&items, |&x| x + 1).len(), 20);
+        });
+        testenv::with_env(&[("LAN_THREADS", Some("4"))], || {
+            assert_eq!(num_threads(), 4);
+        });
+        // The override is gone once the scope closes.
+        testenv::with_env(&[("LAN_THREADS", None)], || {
+            assert!(num_threads() >= 1);
+        });
+    }
+
+    #[test]
+    fn with_env_restores_on_panic() {
+        let before = std::env::var("LAN_TESTENV_PROBE").ok();
+        let r = std::panic::catch_unwind(|| {
+            testenv::with_env(&[("LAN_TESTENV_PROBE", Some("boom"))], || {
+                panic!("inside with_env");
+            })
+        });
+        assert!(r.is_err());
+        assert_eq!(std::env::var("LAN_TESTENV_PROBE").ok(), before);
     }
 }

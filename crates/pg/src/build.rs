@@ -202,9 +202,23 @@ impl ProximityGraph {
     /// the top layer to layer 1 using **counted** query distances, returning
     /// the entry node for base-layer routing.
     pub fn hnsw_entry(&self, cache: &DistCache<'_>) -> u32 {
+        self.hnsw_entry_budgeted(cache, &crate::budget::BudgetCtx::unlimited())
+    }
+
+    /// [`Self::hnsw_entry`] under a query budget: once the budget stops
+    /// answering distances the descent sees `+inf` for every further
+    /// candidate, stops improving, and returns the best node reached so
+    /// far — graceful degradation, never a panic.
+    pub fn hnsw_entry_budgeted(
+        &self,
+        cache: &DistCache<'_>,
+        ctx: &crate::budget::BudgetCtx,
+    ) -> u32 {
         let mut ep = self.entry;
         for l in (1..self.layers.len()).rev() {
-            ep = greedy_step_to_min(&self.layers[l], ep, |x| cache.get(x));
+            ep = greedy_step_to_min(&self.layers[l], ep, |x| {
+                crate::budget::budgeted_get(cache, ctx, x).unwrap_or(f64::INFINITY)
+            });
         }
         ep
     }
@@ -288,10 +302,13 @@ fn search_layer(
     let mut results: Vec<(f64, u32)> = vec![(dist(entry), entry)];
     let mut frontier: Vec<(f64, u32)> = results.clone();
 
+    // total_cmp everywhere below: a NaN distance must order
+    // deterministically (after +inf) instead of comparing Equal to
+    // everything and leaving the pick dependent on iteration order.
     while let Some(i) = frontier
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
         .map(|(i, _)| i)
     {
         let (d, v) = frontier.swap_remove(i);
@@ -321,7 +338,7 @@ fn search_layer(
                     let worst_i = results
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
                         .map(|(i, _)| i)
                         .unwrap();
                     results.swap_remove(worst_i);
@@ -329,11 +346,7 @@ fn search_layer(
             }
         }
     }
-    results.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
+    results.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     results
 }
 
@@ -342,11 +355,7 @@ fn search_layer(
 pub fn brute_force_knn(n: usize, query: &dyn QueryDistance, k: usize) -> Vec<(f64, u32)> {
     let mut all: Vec<(f64, u32)> =
         lan_par::par_map_indices(n, |i| (query.distance(i as u32), i as u32));
-    all.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     all.truncate(k);
     all
 }

@@ -12,9 +12,10 @@
 //! results with no more distance computations (Lemma 1 / Theorem 1) — the
 //! property tests in this module and `tests/` check both.
 
+use crate::budget::{budgeted_get, BudgetCtx, Termination};
 use crate::metric::{DistCache, QueryDistance};
 use crate::pool::{Pool, RouterState};
-use crate::routing::RouteResult;
+use crate::routing::{finish_route, RouteResult};
 use lan_obs::{names, trace, Counter};
 use std::collections::HashMap;
 
@@ -61,8 +62,7 @@ impl NeighborRanker for OracleRanker<'_> {
         ranked.sort_by(|&a, &b| {
             self.truth
                 .distance(a)
-                .partial_cmp(&self.truth.distance(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.truth.distance(b))
                 .then(a.cmp(&b))
         });
         chunk_batches(ranked, self.batch_pct)
@@ -93,6 +93,10 @@ struct NpRouter<'a, R: NeighborRanker> {
     adj: &'a [Vec<u32>],
     cache: &'a DistCache<'a>,
     ranker: &'a R,
+    ctx: &'a BudgetCtx,
+    /// Set when the budget stopped the query; the routing loops unwind
+    /// and the best-so-far pool is returned with this tag.
+    stopped: Option<Termination>,
     batches: HashMap<u32, BatchState>,
     w: Pool,
     state: RouterState,
@@ -145,7 +149,32 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
             }
         }
     }
+    /// Budget-aware distance; `None` means the budget stopped the query
+    /// (the cause is recorded in `self.stopped` and the loops unwind).
+    fn try_get(&mut self, id: u32) -> Option<f64> {
+        match budgeted_get(self.cache, self.ctx, id) {
+            Ok(d) => Some(d),
+            Err(t) => {
+                self.stopped = Some(t);
+                None
+            }
+        }
+    }
+
+    /// Checks the per-router hop cap before exploring another node.
+    fn hop_capped(&mut self) -> bool {
+        if self.state.order.len() >= self.ctx.max_hops() {
+            self.ctx.note_local(Termination::Degraded);
+            self.stopped = Some(Termination::Degraded);
+            true
+        } else {
+            false
+        }
+    }
+
     fn batch_state(&mut self, g: u32) -> &mut BatchState {
+        // `g` is always pooled here, so its distance is already cached —
+        // this lookup is a hit and never charges the budget.
         let d_node = self.cache.get(g);
         let adj = self.adj;
         let ranker = self.ranker;
@@ -195,7 +224,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
             self.m_opened.inc();
             let mut hit = false;
             for nb in batch {
-                let d = self.cache.get(nb);
+                let Some(d) = self.try_get(nb) else { return };
                 self.w.add(nb, d);
                 if d >= gamma {
                     hit = true;
@@ -253,7 +282,7 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
             self.m_opened.inc();
             let mut hit = false;
             for nb in batch {
-                let d = self.cache.get(nb);
+                let Some(d) = self.try_get(nb) else { return };
                 self.w.add(nb, d);
                 if d >= gamma {
                     hit = true;
@@ -285,12 +314,42 @@ pub fn np_route<R: NeighborRanker>(
     k: usize,
     ds: f64,
 ) -> RouteResult {
+    np_route_budgeted(
+        adj,
+        cache,
+        ranker,
+        entries,
+        b,
+        k,
+        ds,
+        &BudgetCtx::unlimited(),
+    )
+}
+
+/// Algorithm 2 under a query budget: identical to [`np_route`] while the
+/// budget holds (bit-identical with an unlimited one). On exhaustion —
+/// NDC cap, deadline, hop cap, or a sibling shard's cancellation — the
+/// routing unwinds and returns the best-so-far pool tagged with the bound
+/// that fired. Never panics, never errors.
+#[allow(clippy::too_many_arguments)]
+pub fn np_route_budgeted<R: NeighborRanker>(
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    ranker: &R,
+    entries: &[u32],
+    b: usize,
+    k: usize,
+    ds: f64,
+    ctx: &BudgetCtx,
+) -> RouteResult {
     assert!(b >= 1, "beam size must be at least 1");
     assert!(ds > 0.0, "gamma step must be positive");
     let mut r = NpRouter {
         adj,
         cache,
         ranker,
+        ctx,
+        stopped: None,
         batches: HashMap::new(),
         w: Pool::new(),
         state: RouterState::new(),
@@ -301,13 +360,14 @@ pub fn np_route<R: NeighborRanker>(
         hop: 0,
     };
     for &e in entries {
-        let d = cache.get(e);
+        let Some(d) = r.try_get(e) else { break };
         r.w.add(e, d);
     }
 
     // --- Stage 1: greedy descent to the first local optimum (lines 5-11).
-    while let Some(g) = r.w.min_entry() {
-        if r.state.is_explored(g.id) {
+    while r.stopped.is_none() {
+        let Some(g) = r.w.min_entry() else { break };
+        if r.state.is_explored(g.id) || r.hop_capped() {
             break;
         }
         r.rank_expl(g.id, g.dist);
@@ -317,33 +377,45 @@ pub fn np_route<R: NeighborRanker>(
     }
 
     // --- Stage 2: backtracking with escalating gamma (lines 12-29).
-    let g_flo = r.w.min_entry().expect("pool cannot be empty after stage 1");
-    let mut gamma = g_flo.dist + ds;
-    loop {
-        if let Some(q) = r.trace_q {
-            trace::emit_gamma(q, gamma);
+    //
+    // An empty pool (no entries, or the budget stopped the query before
+    // any entry distance was computed) previously panicked here; routing
+    // instead returns what it has — the empty or entry-only pool.
+    if r.stopped.is_none() {
+        if let Some(g_flo) = r.w.min_entry() {
+            let mut gamma = g_flo.dist + ds;
+            'escalate: loop {
+                if let Some(q) = r.trace_q {
+                    trace::emit_gamma(q, gamma);
+                }
+                for g in r.state.order.clone() {
+                    r.all_quali_neigh(g, gamma);
+                    if r.stopped.is_some() {
+                        break 'escalate;
+                    }
+                }
+                r.w.resize(b, &r.state);
+                if r.w.all_explored(&r.state) {
+                    break;
+                }
+                while let Some(g) = r.w.min_unexplored_within(gamma, &r.state) {
+                    if r.hop_capped() {
+                        break 'escalate;
+                    }
+                    r.rank_expl(g.id, gamma);
+                    r.state.mark_explored(g.id);
+                    r.note_hop(2, g.id, g.dist, gamma);
+                    r.w.resize(b, &r.state);
+                    if r.stopped.is_some() {
+                        break 'escalate;
+                    }
+                }
+                gamma += ds;
+            }
         }
-        for g in r.state.order.clone() {
-            r.all_quali_neigh(g, gamma);
-        }
-        r.w.resize(b, &r.state);
-        if r.w.all_explored(&r.state) {
-            break;
-        }
-        while let Some(g) = r.w.min_unexplored_within(gamma, &r.state) {
-            r.rank_expl(g.id, gamma);
-            r.state.mark_explored(g.id);
-            r.note_hop(2, g.id, g.dist, gamma);
-            r.w.resize(b, &r.state);
-        }
-        gamma += ds;
     }
 
-    RouteResult {
-        results: r.w.top_k(k).into_iter().map(|e| (e.dist, e.id)).collect(),
-        ndc: cache.ndc(),
-        exploration_order: r.state.order,
-    }
+    finish_route(&r.w, r.state, cache, k, r.stopped)
 }
 
 #[cfg(test)]
@@ -556,6 +628,30 @@ mod tests {
     }
 
     #[test]
+    fn chunk_batches_edge_cases() {
+        // batch_pct = 100: always exactly one batch, any n.
+        for n in [1usize, 2, 7, 100] {
+            let items: Vec<u32> = (0..n as u32).collect();
+            let batches = chunk_batches(items.clone(), 100);
+            assert_eq!(batches, vec![items], "pct=100, n={n}");
+        }
+        // n smaller than the nominal batch size: the size floor of 1 keeps
+        // every element in play (never an empty or dropped batch).
+        assert_eq!(chunk_batches(vec![7, 8], 90), vec![vec![7], vec![8]]);
+        assert_eq!(chunk_batches(vec![5], 1), vec![vec![5]]);
+        // Empty input is empty output at every percentage.
+        for pct in [1usize, 20, 100] {
+            assert!(chunk_batches(vec![], pct).is_empty(), "pct={pct}");
+        }
+        // Batches always concatenate back to the input, in order.
+        for pct in [1usize, 13, 33, 50, 99, 100] {
+            let items: Vec<u32> = (0..23).collect();
+            let flat: Vec<u32> = chunk_batches(items.clone(), pct).concat();
+            assert_eq!(flat, items, "pct={pct} lost or reordered elements");
+        }
+    }
+
+    #[test]
     fn single_node_graph() {
         let adj = vec![vec![]];
         let f = |_: u32| 4.0;
@@ -564,5 +660,64 @@ mod tests {
         let r = np_route(&adj, &cache, &oracle, &[0], 2, 1, 1.0);
         assert_eq!(r.results, vec![(4.0, 0)]);
         assert_eq!(r.ndc, 1);
+        assert_eq!(r.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn isolated_entry_returns_entry_only() {
+        // Regression: an isolated entry in a larger graph must yield an
+        // entry-only result, not a panic.
+        let adj = vec![vec![], vec![2], vec![1]];
+        let f = |id: u32| 1.0 + id as f64;
+        let cache = DistCache::new(&f);
+        let oracle = OracleRanker::new(&f, 20);
+        let r = np_route(&adj, &cache, &oracle, &[0], 3, 2, 1.0);
+        assert_eq!(r.results, vec![(1.0, 0)]);
+        assert_eq!(r.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn empty_entries_return_empty_result() {
+        // Regression: "pool cannot be empty after stage 1" panicked here.
+        let adj = vec![vec![1], vec![0]];
+        let f = |id: u32| id as f64;
+        let cache = DistCache::new(&f);
+        let oracle = OracleRanker::new(&f, 20);
+        let r = np_route(&adj, &cache, &oracle, &[], 2, 1, 1.0);
+        assert!(r.results.is_empty());
+        assert_eq!(r.ndc, 0);
+        assert_eq!(r.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn budgeted_np_route_matches_with_large_cap_and_degrades_with_small() {
+        use crate::budget::QueryBudget;
+        let mut rng = StdRng::seed_from_u64(91);
+        let adj = random_adj(&mut rng, 25, 25);
+        let dists = distinct_dists(&mut rng, 25);
+        let f = |id: u32| dists[id as usize];
+        let oracle = OracleRanker::new(&f, 20);
+
+        let free_cache = DistCache::new(&f);
+        let free = np_route(&adj, &free_cache, &oracle, &[0], 3, 2, 1.0);
+        assert_eq!(free.termination, Termination::Converged);
+
+        // A cap at least the unlimited NDC changes nothing, bit for bit.
+        let ctx = BudgetCtx::new(&QueryBudget::default().with_max_ndc(free.ndc));
+        let cache = DistCache::new(&f);
+        let same = np_route_budgeted(&adj, &cache, &oracle, &[0], 3, 2, 1.0, &ctx);
+        assert_eq!(free.results, same.results);
+        assert_eq!(free.ndc, same.ndc);
+        assert_eq!(free.exploration_order, same.exploration_order);
+        assert_eq!(same.termination, Termination::Converged);
+
+        // Any smaller cap must bound the NDC and tag the result.
+        for cap in 1..free.ndc {
+            let ctx = BudgetCtx::new(&QueryBudget::default().with_max_ndc(cap));
+            let cache = DistCache::new(&f);
+            let r = np_route_budgeted(&adj, &cache, &oracle, &[0], 3, 2, 1.0, &ctx);
+            assert!(r.ndc <= cap, "cap {cap}: ndc {}", r.ndc);
+            assert_eq!(r.termination, Termination::NdcBudget, "cap {cap}");
+        }
     }
 }

@@ -90,21 +90,24 @@ impl Pool {
         }
     }
 
+    // All pool comparators use `f64::total_cmp`, not `partial_cmp` with an
+    // `Equal` fallback: a NaN distance (a buggy or faulted metric) would
+    // otherwise compare Equal to *everything*, making the sort order
+    // depend on the input permutation — and the parallel==sequential
+    // equivalence guarantees flake. Under total_cmp NaN orders after
+    // +inf, deterministically (and -0.0 < 0.0 cannot matter: GED ≥ 0).
     fn sort(&mut self, state: &RouterState) {
         self.entries.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    let ea = state.is_explored(a.id);
-                    let eb = state.is_explored(b.id);
-                    match (ea, eb) {
-                        (false, true) => std::cmp::Ordering::Less,
-                        (true, false) => std::cmp::Ordering::Greater,
-                        (true, true) => state.seq_of(b.id).cmp(&state.seq_of(a.id)),
-                        (false, false) => a.id.cmp(&b.id),
-                    }
-                })
+            a.dist.total_cmp(&b.dist).then_with(|| {
+                let ea = state.is_explored(a.id);
+                let eb = state.is_explored(b.id);
+                match (ea, eb) {
+                    (false, true) => std::cmp::Ordering::Less,
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (true, true) => state.seq_of(b.id).cmp(&state.seq_of(a.id)),
+                    (false, false) => a.id.cmp(&b.id),
+                }
+            })
         });
     }
 
@@ -113,12 +116,7 @@ impl Pool {
         self.entries
             .iter()
             .filter(|e| !state.is_explored(e.id))
-            .min_by(|a, b| {
-                a.dist
-                    .partial_cmp(&b.dist)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)))
             .copied()
     }
 
@@ -128,12 +126,7 @@ impl Pool {
         self.entries
             .iter()
             .filter(|e| !state.is_explored(e.id) && e.dist <= gamma)
-            .min_by(|a, b| {
-                a.dist
-                    .partial_cmp(&b.dist)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)))
             .copied()
     }
 
@@ -141,12 +134,7 @@ impl Pool {
     pub fn min_entry(&self) -> Option<PoolEntry> {
         self.entries
             .iter()
-            .min_by(|a, b| {
-                a.dist
-                    .partial_cmp(&b.dist)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)))
             .copied()
     }
 
@@ -158,12 +146,7 @@ impl Pool {
     /// The `k` best entries by `(dist, id)`.
     pub fn top_k(&self, k: usize) -> Vec<PoolEntry> {
         let mut v = self.entries.clone();
-        v.sort_by(|a, b| {
-            a.dist
-                .partial_cmp(&b.dist)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         v.truncate(k);
         v
     }
@@ -241,6 +224,29 @@ mod tests {
         let t = w.top_k(2);
         assert_eq!(t[0].id, 2);
         assert_eq!(t[1].id, 1);
+    }
+
+    #[test]
+    fn nan_distances_order_last_and_deterministically() {
+        // A NaN distance must not scramble the order of the finite
+        // entries (with partial_cmp-or-Equal it compared Equal to every
+        // neighbor, so the result depended on insertion order).
+        let mut w = Pool::new();
+        let s = RouterState::new();
+        w.add(4, f64::NAN);
+        w.add(1, 5.0);
+        w.add(9, f64::NAN);
+        w.add(2, 2.0);
+        w.add(3, f64::INFINITY);
+        let t = w.top_k(5);
+        let ids: Vec<u32> = t.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 1, 3, 4, 9]); // NaN after +inf, then by id
+        assert_eq!(w.min_entry().unwrap().id, 2);
+        assert_eq!(w.min_unexplored(&s).unwrap().id, 2);
+        // Resize keeps the finite entries, dropping the NaNs first.
+        w.resize(3, &s);
+        let kept: Vec<u32> = w.top_k(5).iter().map(|e| e.id).collect();
+        assert_eq!(kept, vec![2, 1, 3]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! pool, and resizes the pool to the beam size `b`. The routing stops when
 //! every pooled node is explored; the top-`k` of the pool are the k-ANNs.
 
+use crate::budget::{budgeted_get, BudgetCtx, Termination};
 use crate::metric::DistCache;
 use crate::pool::{Pool, PoolEntry, RouterState};
 
@@ -19,6 +20,9 @@ pub struct RouteResult {
     pub ndc: usize,
     /// Nodes in exploration order (for the Lemma 1 equivalence tests).
     pub exploration_order: Vec<u32>,
+    /// How the routing ended ([`Termination::Converged`] unless a budget
+    /// bound it; the results are best-so-far either way).
+    pub termination: Termination,
 }
 
 impl RouteResult {
@@ -26,6 +30,29 @@ impl RouteResult {
     pub fn ids(&self) -> Vec<u32> {
         self.results.iter().map(|&(_, id)| id).collect()
     }
+}
+
+/// Seals a route: top-k of the pool, NDC, exploration order, and the
+/// termination tag; emits the trace `end` event for traced queries.
+/// Shared by both routers (Algorithm 1 and `np_route`).
+pub(crate) fn finish_route(
+    w: &Pool,
+    state: RouterState,
+    cache: &DistCache<'_>,
+    k: usize,
+    stopped: Option<Termination>,
+) -> RouteResult {
+    let termination = stopped.unwrap_or(Termination::Converged);
+    let r = RouteResult {
+        results: w.top_k(k).into_iter().map(|e| (e.dist, e.id)).collect(),
+        ndc: cache.ndc(),
+        exploration_order: state.order,
+        termination,
+    };
+    if let Some(q) = lan_obs::trace::active_query() {
+        lan_obs::trace::emit_end(q, termination.as_str(), r.ndc as u64);
+    }
+    r
 }
 
 /// Algorithm 1: beam search over the base-layer adjacency `adj` from the
@@ -37,28 +64,60 @@ pub fn beam_search(
     b: usize,
     k: usize,
 ) -> RouteResult {
+    beam_search_budgeted(adj, cache, entries, b, k, &BudgetCtx::unlimited())
+}
+
+/// Algorithm 1 under a query budget: identical to [`beam_search`] while
+/// the budget holds (bit-identical with an unlimited one); on exhaustion
+/// the walk stops and the best-so-far pool is returned, tagged with the
+/// bound that fired. Never panics, never errors.
+pub fn beam_search_budgeted(
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    entries: &[u32],
+    b: usize,
+    k: usize,
+    ctx: &BudgetCtx,
+) -> RouteResult {
     assert!(b >= 1, "beam size must be at least 1");
     let m_hops = lan_obs::counter(lan_obs::names::ROUTE_HOPS);
     let mut w = Pool::new();
     let mut state = RouterState::new();
+    let mut stopped: Option<Termination> = None;
     for &e in entries {
-        w.add(e, cache.get(e));
+        match budgeted_get(cache, ctx, e) {
+            Ok(d) => w.add(e, d),
+            Err(t) => {
+                stopped = Some(t);
+                break;
+            }
+        }
     }
 
-    while let Some(PoolEntry { id: g, .. }) = w.min_unexplored(&state) {
+    while stopped.is_none() {
+        let Some(PoolEntry { id: g, .. }) = w.min_unexplored(&state) else {
+            break;
+        };
+        if state.order.len() >= ctx.max_hops() {
+            ctx.note_local(Termination::Degraded);
+            stopped = Some(Termination::Degraded);
+            break;
+        }
         for &nb in &adj[g as usize] {
-            w.add(nb, cache.get(nb));
+            match budgeted_get(cache, ctx, nb) {
+                Ok(d) => w.add(nb, d),
+                Err(t) => {
+                    stopped = Some(t);
+                    break;
+                }
+            }
         }
         state.mark_explored(g);
         m_hops.inc();
         w.resize(b, &state);
     }
 
-    RouteResult {
-        results: w.top_k(k).into_iter().map(|e| (e.dist, e.id)).collect(),
-        ndc: cache.ndc(),
-        exploration_order: state.order,
-    }
+    finish_route(&w, state, cache, k, stopped)
 }
 
 #[cfg(test)]
@@ -134,6 +193,57 @@ mod tests {
         let cache = DistCache::new(&dist);
         let r = beam_search(&adj, &cache, &[0], 2, 1);
         assert_eq!(r.results, vec![(7.0, 0)]);
+        assert_eq!(r.termination, crate::budget::Termination::Converged);
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_with_large_cap() {
+        use crate::budget::{BudgetCtx, QueryBudget, Termination};
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let c1 = DistCache::new(&dist);
+        let free = beam_search(&adj, &c1, &[0], 2, 2);
+        let c2 = DistCache::new(&dist);
+        let ctx = BudgetCtx::new(&QueryBudget::default().with_max_ndc(1000));
+        let capped = beam_search_budgeted(&adj, &c2, &[0], 2, 2, &ctx);
+        assert_eq!(free.results, capped.results);
+        assert_eq!(free.ndc, capped.ndc);
+        assert_eq!(free.exploration_order, capped.exploration_order);
+        assert_eq!(capped.termination, Termination::Converged);
+    }
+
+    #[test]
+    fn ndc_cap_degrades_gracefully() {
+        use crate::budget::{BudgetCtx, QueryBudget, Termination};
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        for cap in 1..5 {
+            let cache = DistCache::new(&dist);
+            let ctx = BudgetCtx::new(&QueryBudget::default().with_max_ndc(cap));
+            let r = beam_search_budgeted(&adj, &cache, &[0], 2, 1, &ctx);
+            assert!(r.ndc <= cap, "cap {cap}: ndc {} over budget", r.ndc);
+            assert_eq!(r.termination, Termination::NdcBudget);
+            assert!(!r.results.is_empty(), "best-so-far results expected");
+        }
+        // The full walk needs 5 computations; a cap of 5 converges.
+        let cache = DistCache::new(&dist);
+        let ctx = BudgetCtx::new(&QueryBudget::default().with_max_ndc(5));
+        let r = beam_search_budgeted(&adj, &cache, &[0], 2, 1, &ctx);
+        assert_eq!(r.termination, Termination::Converged);
+        assert_eq!(r.results[0], (0.0, 4));
+    }
+
+    #[test]
+    fn hop_cap_degrades_gracefully() {
+        use crate::budget::{BudgetCtx, QueryBudget, Termination};
+        let adj = path_adj();
+        let dist = |id: u32| (4 - id) as f64;
+        let cache = DistCache::new(&dist);
+        let ctx = BudgetCtx::new(&QueryBudget::default().with_max_hops(2));
+        let r = beam_search_budgeted(&adj, &cache, &[0], 2, 1, &ctx);
+        assert_eq!(r.exploration_order.len(), 2);
+        assert_eq!(r.termination, Termination::Degraded);
+        assert!(!r.results.is_empty());
     }
 }
 
@@ -185,13 +295,7 @@ pub fn range_search(
     while let Some(&g) = frontier
         .iter()
         .filter(|&&g| !explored.contains(&g) && cache.get(g) <= tau + eps)
-        .min_by(|&&a, &&b| {
-            cache
-                .get(a)
-                .partial_cmp(&cache.get(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        })
+        .min_by(|&&a, &&b| cache.get(a).total_cmp(&cache.get(b)).then(a.cmp(&b)))
     {
         explored.insert(g);
         for &nb in &adj[g as usize] {
@@ -208,11 +312,7 @@ pub fn range_search(
             (d <= tau).then_some((d, g))
         })
         .collect();
-    hits.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
+    hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     hits
 }
 
