@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks for the tape-free inference fast path:
+//! per-pair cross-graph forward (tape vs `infer_pair`) and ranker-head
+//! scoring of one routing hop (per-row tapes vs one fused matmul).
+//!
+//! The figure-level numbers (including the cached-hop speedup gate) come
+//! from the `gnn_inference` binary, which writes `results/BENCH_gnn.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lan_gnn::{CrossGraphNet, CrossInput, GnnConfig};
+use lan_graph::generators::molecule_like;
+use lan_tensor::{FusedHeads, Matrix, Mlp, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_pair_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_forward");
+    for &n in &[10usize, 25] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = GnnConfig::uniform(5, 16, 2);
+        let mut store = ParamStore::new();
+        let net = CrossGraphNet::new(&mut rng, &mut store, cfg.clone());
+        let g = molecule_like(&mut rng, n, 2, 3, 5);
+        let q = molecule_like(&mut rng, n, 2, 3, 5);
+        let gx = CrossInput::plain(&g, &cfg);
+        let qx = CrossInput::plain(&q, &cfg);
+
+        group.bench_with_input(BenchmarkId::new("tape", n), &(), |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                net.forward(&mut tape, &store, &gx, &qx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("infer", n), &(), |b, _| {
+            lan_gnn::with_scratch(|s| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    net.infer_pair(&store, &gx, &qx, s, &mut out);
+                    std::hint::black_box(out.len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hop_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hop_scoring");
+    // One routing hop: `neighbors` feature rows scored by 5 [d, h, 1] heads.
+    let (dim, hidden, heads_n) = (65usize, 16usize, 5usize);
+    for &neighbors in &[8usize, 20] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let heads: Vec<Mlp> = (0..heads_n)
+            .map(|_| Mlp::new(&mut rng, &mut store, &[dim, hidden, 1]))
+            .collect();
+        let fused = FusedHeads::new(&heads, &store);
+        let x = Matrix::from_fn(neighbors, dim, |_, _| rng.gen_range(-1.0..1.0f32));
+
+        group.bench_with_input(BenchmarkId::new("per_row_tapes", neighbors), &(), |b, _| {
+            b.iter(|| {
+                let mut total = 0.0f32;
+                for i in 0..neighbors {
+                    for head in &heads {
+                        let mut tape = Tape::new();
+                        let xv = tape.leaf(Matrix::from_vec(1, dim, x.row(i).to_vec()));
+                        let y = head.forward(&mut tape, &store, xv);
+                        total += tape.value(y).scalar();
+                    }
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", neighbors), &(), |b, _| {
+            let mut hid = Matrix::zeros(0, 0);
+            let mut out = Matrix::zeros(0, 0);
+            b.iter(|| {
+                fused.score_into(&x, &mut hid, &mut out);
+                let mut total = 0.0f32;
+                for i in 0..neighbors {
+                    for hd in 0..heads_n {
+                        total += out.get(i, hd);
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pair_forward, bench_hop_scoring
+}
+criterion_main!(benches);

@@ -22,6 +22,9 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "route.hops",
     "route.batches_opened",
     "gnn.forward_calls",
+    "gnn.infer.forwards",
+    "gnn.infer.cache.hit",
+    "gnn.infer.cache.miss",
     "query.count",
 ];
 

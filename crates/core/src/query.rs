@@ -145,7 +145,6 @@ impl LanIndex {
             })
         };
         let cache = DistCache::new(&qd);
-        self.models.gnn_timer.reset();
 
         let use_cg = match route {
             RouteStrategy::LanRoute { use_cg } => use_cg,
@@ -241,12 +240,19 @@ impl LanIndex {
             lan_obs::counter(names::QUERY_DEGRADED).inc();
         }
         let distance_time = dist_timer.total();
+        // GNN time is owned by the query context (built once per query, so
+        // concurrent queries never share an accumulator); strategies that
+        // never build one spent no time in the GNN by construction.
+        let gnn_time = qctx
+            .as_ref()
+            .map(|c| c.gnn_time())
+            .unwrap_or(Duration::ZERO);
         QueryOutcome {
             results: route_result.results,
             ndc: route_result.ndc,
             total_time: t_start.elapsed(),
             distance_time,
-            gnn_time: self.models.gnn_timer.total(),
+            gnn_time,
             termination,
         }
     }

@@ -1,0 +1,352 @@
+//! Tape-free inference forwards for the cross-graph network and GIN.
+//!
+//! Training needs the autodiff tape; query-time prediction does not, yet
+//! the original query path paid for it anyway — every pair embedding built
+//! a fresh [`lan_tensor::Tape`], cloned the input features and every
+//! per-layer aggregation matrix onto it, and allocated ~25 intermediate
+//! node matrices just to read one value off the end. This module runs the
+//! *same arithmetic* directly on [`Matrix`] values with reusable scratch
+//! buffers:
+//!
+//! * every matmul goes through [`Matrix::matmul_into`], the exact i-k-j
+//!   axpy loop of the tape path, so [`CrossGraphNet::infer_pair`] is
+//!   bit-identical to [`CrossGraphNet::forward`] (the equivalence tests in
+//!   `tests/infer_equivalence.rs` assert agreement within 1e-5; in practice
+//!   the outputs match exactly);
+//! * the attention softmax, rank-1 broadcast sum, and weighted-mean
+//!   readout replicate the tape ops' accumulation order verbatim;
+//! * inputs (`CrossInput`, parameters) are read by reference — no clones.
+//!
+//! ## Scratch-buffer ownership
+//!
+//! All intermediates live in an [`InferScratch`], typically obtained
+//! per-thread via [`with_scratch`]. A scratch is exclusively borrowed for
+//! the duration of one forward and holds no state between calls (buffers
+//! are `reset` to the right shape, keeping only their allocation), so
+//! reuse across queries, graphs, and shard worker threads is safe by
+//! construction. [`with_scratch`] must not be nested — callers acquire it
+//! around leaf forwards only.
+
+use crate::cross::{CrossGraphNet, CrossInput};
+use crate::gin::Gin;
+use lan_graph::{Graph, NodeId};
+use lan_obs::names;
+use lan_tensor::{Matrix, ParamStore};
+use std::cell::RefCell;
+
+/// Reusable buffers for the tape-free forwards. One per thread (see
+/// [`with_scratch`]); every buffer is reshaped on use, so one scratch
+/// serves graphs and networks of any size.
+#[derive(Debug)]
+pub struct InferScratch {
+    // Cross-graph per-layer intermediates (x = database side, y = query).
+    tx: Matrix,
+    ty: Matrix,
+    colx: Matrix,
+    coly: Matrix,
+    rx: Matrix,
+    ry: Matrix,
+    sx: Matrix,
+    sy: Matrix,
+    ax: Matrix,
+    ay: Matrix,
+    mux: Matrix,
+    muy: Matrix,
+    zx: Matrix,
+    zy: Matrix,
+    px: Matrix,
+    py: Matrix,
+    hx: Matrix,
+    hy: Matrix,
+    lnw: Vec<f32>,
+    // GIN buffers.
+    agg: Matrix,
+    gh: Matrix,
+    gt: Matrix,
+    gz: Matrix,
+}
+
+impl Default for InferScratch {
+    fn default() -> Self {
+        let m = || Matrix::zeros(0, 0);
+        InferScratch {
+            tx: m(),
+            ty: m(),
+            colx: m(),
+            coly: m(),
+            rx: m(),
+            ry: m(),
+            sx: m(),
+            sy: m(),
+            ax: m(),
+            ay: m(),
+            mux: m(),
+            muy: m(),
+            zx: m(),
+            zy: m(),
+            px: m(),
+            py: m(),
+            hx: m(),
+            hy: m(),
+            lnw: Vec::new(),
+            agg: m(),
+            gh: m(),
+            gt: m(),
+            gz: m(),
+        }
+    }
+}
+
+impl InferScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<InferScratch> = RefCell::new(InferScratch::new());
+}
+
+/// Runs `f` with this thread's [`InferScratch`]. Panics if nested (the
+/// scratch is exclusively borrowed); acquire it around leaf forwards only.
+pub fn with_scratch<R>(f: impl FnOnce(&mut InferScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// `out[i][j] = col[i] + row_col[j]` — the factorized attention score
+/// (tape `rank1_add` on a transposed second operand; `row_col` is `m × 1`).
+fn rank1_add_into(col: &Matrix, row_col: &Matrix, out: &mut Matrix) {
+    out.reset(col.rows(), row_col.rows());
+    for i in 0..col.rows() {
+        let c = col.get(i, 0);
+        for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+            *o = c + row_col.get(j, 0);
+        }
+    }
+}
+
+/// Row-softmax with positive column weights; replicates the tape op's
+/// stabilize-by-row-max arithmetic exactly. `lnw` is a reusable buffer for
+/// the per-column `ln w` terms.
+fn weighted_row_softmax_into(x: &Matrix, w: &[f32], lnw: &mut Vec<f32>, out: &mut Matrix) {
+    debug_assert_eq!(w.len(), x.cols());
+    lnw.clear();
+    lnw.extend(w.iter().map(|&wi| wi.ln()));
+    out.reset(x.rows(), x.cols());
+    for i in 0..x.rows() {
+        let src = x.row(i);
+        let row = out.row_mut(i);
+        for (j, o) in row.iter_mut().enumerate() {
+            *o = src[j] + lnw[j];
+        }
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for o in row.iter_mut() {
+            *o = (*o - m).exp();
+        }
+        let z: f32 = row.iter().sum();
+        for o in row.iter_mut() {
+            *o /= z;
+        }
+    }
+}
+
+/// Elementwise `out = a + b`.
+fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(a.shape(), b.shape());
+    out.reset(a.rows(), a.cols());
+    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = x + y;
+    }
+}
+
+/// Appends the weighted row mean of `x` to `out` (tape
+/// `weighted_mean_rows`, identical accumulation order).
+fn weighted_mean_rows_append(x: &Matrix, w: &[f32], out: &mut Vec<f32>) {
+    debug_assert_eq!(w.len(), x.rows());
+    let total: f32 = w.iter().sum();
+    let base = out.len();
+    out.resize(base + x.cols(), 0.0);
+    let acc = &mut out[base..];
+    for (i, &wi) in w.iter().enumerate() {
+        for (o, &v) in acc.iter_mut().zip(x.row(i)) {
+            *o += wi * v / total;
+        }
+    }
+}
+
+impl CrossGraphNet {
+    /// Tape-free twin of [`CrossGraphNet::forward`]: writes the pair
+    /// embedding `h_G ‖ h_Q` (`2 d_L` scalars) into `out`. Same arithmetic,
+    /// same accumulation order, no tape nodes, no input clones.
+    pub fn infer_pair(
+        &self,
+        store: &ParamStore,
+        x: &CrossInput,
+        y: &CrossInput,
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+    ) {
+        lan_obs::counter(names::GNN_FORWARD_CALLS).inc();
+        lan_obs::counter(names::GNN_INFER_FORWARDS).inc();
+        let layers = self.layers.len();
+        let InferScratch {
+            tx,
+            ty,
+            colx,
+            coly,
+            rx,
+            ry,
+            sx,
+            sy,
+            ax,
+            ay,
+            mux,
+            muy,
+            zx,
+            zy,
+            px,
+            py,
+            hx,
+            hy,
+            lnw,
+            ..
+        } = scratch;
+        for (l, layer) in self.layers.iter().enumerate() {
+            {
+                let hx_in: &Matrix = if l == 0 { &x.feats } else { hx };
+                let hy_in: &Matrix = if l == 0 { &y.feats } else { hy };
+                x.aggs[l].matmul_into(hx_in, tx);
+                y.aggs[l].matmul_into(hy_in, ty);
+            }
+            let a1 = store.value(layer.a1);
+            let a2 = store.value(layer.a2);
+            tx.matmul_into(a1, colx);
+            ty.matmul_into(a1, coly);
+            tx.matmul_into(a2, rx);
+            ty.matmul_into(a2, ry);
+            rank1_add_into(colx, ry, sx);
+            rank1_add_into(coly, rx, sy);
+            weighted_row_softmax_into(sx, &y.sizes[l + 1], lnw, ax);
+            weighted_row_softmax_into(sy, &x.sizes[l + 1], lnw, ay);
+            ax.matmul_into(ty, mux);
+            ay.matmul_into(tx, muy);
+            add_into(tx, mux, zx);
+            add_into(ty, muy, zy);
+            let w = store.value(layer.w);
+            zx.matmul_into(w, px);
+            zy.matmul_into(w, py);
+            for v in px.data_mut() {
+                *v = v.max(0.0);
+            }
+            for v in py.data_mut() {
+                *v = v.max(0.0);
+            }
+            std::mem::swap(hx, px);
+            std::mem::swap(hy, py);
+        }
+        out.clear();
+        weighted_mean_rows_append(hx, &x.sizes[layers], out);
+        weighted_mean_rows_append(hy, &y.sizes[layers], out);
+    }
+}
+
+impl Gin {
+    /// Tape-free twin of [`Gin::embed`]: writes the pooled `1 × d_L` graph
+    /// embedding into `out`. Bit-identical to the tape path.
+    pub fn infer_embed(
+        &self,
+        store: &ParamStore,
+        g: &Graph,
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+    ) {
+        lan_obs::counter(names::GNN_EMBED_CALLS).inc();
+        let n = g.node_count();
+        out.clear();
+        if n == 0 {
+            out.resize(self.cfg.out_dim(), 0.0);
+            return;
+        }
+        let InferScratch {
+            agg, gh, gt, gz, ..
+        } = scratch;
+        agg.reset(n, n);
+        for u in 0..n as NodeId {
+            agg.set(u as usize, u as usize, 1.0);
+            for &v in g.neighbors(u) {
+                agg.set(u as usize, v as usize, 1.0);
+            }
+        }
+        gh.reset(n, self.cfg.num_labels);
+        for (i, &l) in g.labels().iter().enumerate() {
+            debug_assert!((l as usize) < self.cfg.num_labels);
+            gh.set(i, l as usize, 1.0);
+        }
+        for &wid in &self.weights {
+            agg.matmul_into(gh, gt);
+            let w = store.value(wid);
+            gt.matmul_into(w, gz);
+            for v in gz.data_mut() {
+                *v = v.max(0.0);
+            }
+            std::mem::swap(gh, gz);
+        }
+        // Mean readout = weighted_mean_rows with all-ones weights; the
+        // tape computes the total by summing the ones, replicated here so
+        // the division is bit-identical.
+        let total: f32 = (0..n).map(|_| 1.0f32).sum();
+        out.resize(self.cfg.out_dim(), 0.0);
+        for i in 0..n {
+            for (o, &v) in out.iter_mut().zip(gh.row(i)) {
+                *o += v / total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gin::GnnConfig;
+    use lan_tensor::Tape;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn softmax_matches_tape_op() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Matrix::from_fn(4, 5, |_, _| rng.gen_range(-3.0..3.0f32));
+        let w: Vec<f32> = (0..5).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let want = t.weighted_row_softmax(xv, w.clone());
+        let (mut lnw, mut out) = (Vec::new(), Matrix::zeros(0, 0));
+        weighted_row_softmax_into(&x, &w, &mut lnw, &mut out);
+        assert_eq!(&out, t.value(want), "softmax diverged from tape op");
+    }
+
+    #[test]
+    fn gin_infer_matches_tape_embed_bitwise() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut store = ParamStore::new();
+        let gin = Gin::new(&mut rng, &mut store, GnnConfig::uniform(3, 8, 2));
+        let mut scratch = InferScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            let g = lan_graph::generators::molecule_like(&mut rng, 9, 2, 4, 3);
+            let want = gin.embed(&store, &g);
+            gin.infer_embed(&store, &g, &mut scratch, &mut out);
+            assert_eq!(out.as_slice(), want.data(), "GIN infer != tape embed");
+        }
+    }
+
+    #[test]
+    fn gin_infer_empty_graph_is_zero() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut store = ParamStore::new();
+        let gin = Gin::new(&mut rng, &mut store, GnnConfig::uniform(3, 6, 2));
+        let mut out = vec![1.0; 3];
+        with_scratch(|s| gin.infer_embed(&store, &Graph::empty(), s, &mut out));
+        assert_eq!(out, vec![0.0; 6]);
+    }
+}

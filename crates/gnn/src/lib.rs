@@ -13,7 +13,9 @@
 //!   construction, Theorem 4);
 //! * [`hag`] — the HAG redundancy-elimination baseline [45] compared in
 //!   Fig. 12;
-//! * [`features`] — one-hot label features.
+//! * [`features`] — one-hot label features;
+//! * [`infer`] — tape-free inference forwards (query-time fast path) with
+//!   reusable per-thread scratch buffers, bit-equivalent to the tape ops.
 
 pub mod cg;
 pub mod cross;
@@ -21,9 +23,11 @@ pub mod features;
 pub mod gin;
 pub mod gnn_graph;
 pub mod hag;
+pub mod infer;
 
 pub use cg::CompressedGnnGraph;
 pub use cross::{CrossGraphNet, CrossInput, PairEmbedding};
 pub use gin::{Gin, GnnConfig};
 pub use gnn_graph::GnnGraph;
 pub use hag::HagPlan;
+pub use infer::{with_scratch, InferScratch};

@@ -9,4 +9,4 @@ pub mod models;
 
 pub use kmeans::KMeans;
 pub use learned_ranker::LearnedRanker;
-pub use models::{GnnTimer, LanModels, ModelConfig, QueryContext, TrainReport};
+pub use models::{LanModels, ModelConfig, QueryContext, TrainReport};

@@ -18,12 +18,13 @@ use crate::kmeans::KMeans;
 use lan_datasets::Dataset;
 use lan_gnn::{CompressedGnnGraph, CrossGraphNet, CrossInput, Gin, GnnConfig};
 use lan_graph::Graph;
-use lan_tensor::{sigmoid, Adam, Matrix, Mlp, ParamStore, StepDecay, Tape};
+use lan_obs::{names, span, Counter, TimerCell};
+use lan_tensor::{sigmoid, Adam, FusedHeads, Matrix, Mlp, MlpScratch, ParamStore, StepDecay, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Hyperparameters for model training and inference.
 #[derive(Debug, Clone)]
@@ -92,41 +93,110 @@ pub(crate) fn rk_feature(pair: &[f32], h_g: &[f32], q_gin: &[f32], nb_gin: &[f32
     feat
 }
 
+/// [`rk_feature`] written into a preallocated row of a batch feature
+/// matrix (same layout and accumulation order, no per-neighbor `Vec`).
+pub(crate) fn rk_feature_into(
+    out: &mut [f32],
+    pair: &[f32],
+    h_g: &[f32],
+    q_gin: &[f32],
+    nb_gin: &[f32],
+) {
+    let (p, rest) = out.split_at_mut(pair.len());
+    p.copy_from_slice(pair);
+    let (g, rest) = rest.split_at_mut(h_g.len());
+    g.copy_from_slice(h_g);
+    let mut total = 0.0f32;
+    for (k, (a, b)) in q_gin.iter().zip(nb_gin).enumerate() {
+        let d2 = (a - b) * (a - b);
+        rest[k] = d2;
+        total += d2;
+    }
+    rest[q_gin.len()] = total;
+}
+
 /// Input dimension of [`rk_feature`] given the embedding dim.
 pub(crate) fn rk_feature_dim(embed_dim: usize) -> usize {
     4 * embed_dim + 1
 }
 
-/// Accumulates time spent inside GNN inference (for the Fig. 11 breakdown).
-///
-/// Keyed per thread so parallel query batches sharing one `LanModels` keep
-/// independent per-query accounting: a query runs `reset` → inference →
-/// `total` entirely on its worker thread, so concurrent queries never see
-/// each other's time. (A query's own GNN calls all happen on its thread —
-/// the intra-query parallel sections only evaluate GED distances.)
-#[derive(Debug, Default)]
-pub struct GnnTimer {
-    per_thread: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, Duration>>,
+/// Descending score sort with a NaN total order and an id tiebreak: a NaN
+/// head score (a pathological but possible model output) must not scramble
+/// the partition or panic — NaNs sort deterministically ahead of all finite
+/// scores and ties break toward the smaller graph id.
+pub(crate) fn sort_scored_desc(scored: &mut [(f32, u32)]) {
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 }
 
-impl GnnTimer {
-    pub fn add(&self, d: Duration) {
-        let mut map = self.per_thread.lock().unwrap();
-        *map.entry(std::thread::current().id()).or_default() += d;
+/// A per-query pair-embedding cache: one flat `db_size × pair_dim` slab
+/// keyed by database graph id (allocated lazily on first use), plus a
+/// presence bitmap. Replaces the old per-id `HashMap<u32, Vec<f32>>` — no
+/// hashing on the hot path and no per-entry allocation.
+#[derive(Debug)]
+struct PairSlab {
+    dim: usize,
+    data: Vec<f32>,
+    present: Vec<bool>,
+    /// Staging buffer the tape-free forward writes into before the row copy.
+    tmp: Vec<f32>,
+}
+
+impl PairSlab {
+    fn new(dim: usize) -> Self {
+        PairSlab {
+            dim,
+            data: Vec::new(),
+            present: Vec::new(),
+            tmp: Vec::new(),
+        }
     }
 
-    /// Time accumulated on the calling thread since its last `reset`.
-    pub fn total(&self) -> Duration {
-        let map = self.per_thread.lock().unwrap();
-        map.get(&std::thread::current().id())
-            .copied()
-            .unwrap_or(Duration::ZERO)
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.present.len() < n {
+            self.present.resize(n, false);
+            self.data.resize(n * self.dim, 0.0);
+        }
     }
 
-    /// Clears the calling thread's accumulator only.
-    pub fn reset(&self) {
-        let mut map = self.per_thread.lock().unwrap();
-        map.remove(&std::thread::current().id());
+    fn has(&self, g: u32) -> bool {
+        self.present.get(g as usize).copied().unwrap_or(false)
+    }
+
+    fn row(&self, g: u32) -> &[f32] {
+        &self.data[g as usize * self.dim..(g as usize + 1) * self.dim]
+    }
+
+    fn insert(&mut self, g: u32, v: &[f32]) {
+        self.data[g as usize * self.dim..(g as usize + 1) * self.dim].copy_from_slice(v);
+        self.present[g as usize] = true;
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch for head scoring (feature batch, fused-head
+    /// intermediates, MLP activations). Mirrors `lan_gnn`'s per-thread
+    /// forward scratch: exclusively borrowed around one scoring call, holds
+    /// no cross-call state beyond its allocations.
+    static RANK_SCRATCH: RefCell<RankScratch> = RefCell::new(RankScratch::new());
+}
+
+struct RankScratch {
+    feats: Matrix,
+    hidden: Matrix,
+    logits: Matrix,
+    mlp: MlpScratch,
+    input: Vec<f32>,
+}
+
+impl RankScratch {
+    fn new() -> Self {
+        RankScratch {
+            feats: Matrix::zeros(0, 0),
+            hidden: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            mlp: MlpScratch::default(),
+            input: Vec::new(),
+        }
     }
 }
 
@@ -155,6 +225,10 @@ pub struct LanModels {
     pub cross_store: ParamStore,
     pub nh_head: Mlp,
     pub rk_heads: Vec<Mlp>,
+    /// The ranker heads fused into one `[num_heads·h × feat_dim]` kernel
+    /// (built once after training) so a whole hop's neighbors are scored by
+    /// every head with a single transposed-RHS matmul.
+    pub rk_fused: FusedHeads,
     pub rk_store: ParamStore,
     pub mc_head: Mlp,
     pub mc_store: ParamStore,
@@ -167,11 +241,11 @@ pub struct LanModels {
     /// Cross-graph inputs, compressed and plain, per database graph.
     pub db_inputs_cg: Vec<CrossInput>,
     pub db_inputs_plain: Vec<CrossInput>,
-    /// Wall-clock spent in GNN inference since the last reset.
-    pub gnn_timer: GnnTimer,
 }
 
-/// A query's precomputed learning context (built once per query).
+/// A query's precomputed learning context (built once per query). Owns the
+/// per-query pair-embedding cache and the per-query GNN wall-clock
+/// accumulator, so concurrent queries never share mutable inference state.
 pub struct QueryContext {
     pub input: CrossInput,
     pub gin_embed: Vec<f32>,
@@ -180,7 +254,22 @@ pub struct QueryContext {
     /// (`M_rk`) share one encoder, and proximity-graph neighborhoods
     /// overlap, so each database graph is embedded against the query at
     /// most once.
-    pair_cache: RefCell<std::collections::HashMap<u32, Vec<f32>>>,
+    pair_cache: RefCell<PairSlab>,
+    /// Wall-clock spent in GNN inference for this query (Fig. 11
+    /// breakdown). Atomic, so reads don't need `&mut`.
+    gnn_timer: TimerCell,
+    /// Cache counters resolved once per query (also guarantees both
+    /// `gnn.infer.cache.*` metrics are registered whenever a context
+    /// exists, hits or not).
+    hit: &'static Counter,
+    miss: &'static Counter,
+}
+
+impl QueryContext {
+    /// Wall-clock spent in GNN inference through this context so far.
+    pub fn gnn_time(&self) -> Duration {
+        self.gnn_timer.total()
+    }
 }
 
 impl LanModels {
@@ -322,6 +411,7 @@ impl LanModels {
         let db_inputs_cg: Vec<CrossInput> =
             lan_par::par_map(&db_cgs, |cg| CrossInput::compressed(cg, &gcfg));
 
+        let rk_fused = FusedHeads::new(&rk_heads, &rk_store);
         let models = LanModels {
             cfg,
             num_labels,
@@ -331,6 +421,7 @@ impl LanModels {
             cross_store,
             nh_head,
             rk_heads,
+            rk_fused,
             rk_store,
             mc_head,
             mc_store,
@@ -340,7 +431,6 @@ impl LanModels {
             db_cgs,
             db_inputs_cg,
             db_inputs_plain,
-            gnn_timer: GnnTimer::default(),
         };
 
         // --- Validation precision of M_nh (Fig. 8). ---
@@ -361,39 +451,90 @@ impl LanModels {
         GnnConfig::uniform(self.num_labels, self.cfg.embed_dim, self.cfg.layers)
     }
 
-    /// GIN embedding of an arbitrary graph.
+    /// GIN embedding of an arbitrary graph (tape-free).
     pub fn embed(&self, g: &Graph) -> Vec<f32> {
-        self.gin.embed(&self.gin_store, g).data().to_vec()
+        let mut out = Vec::new();
+        lan_gnn::with_scratch(|s| self.gin.infer_embed(&self.gin_store, g, s, &mut out));
+        out
     }
 
     /// Builds the query's learning context. With `use_cg` the query's
     /// compressed GNN-graph is built once here (the paper's on-the-fly,
     /// one-off CG cost).
     pub fn query_context(&self, q: &Graph, use_cg: bool) -> QueryContext {
-        let t0 = Instant::now();
-        let gcfg = self.gnn_config();
-        let input = if use_cg {
-            let cg = CompressedGnnGraph::build(q, self.cfg.layers);
-            CrossInput::compressed(&cg, &gcfg)
-        } else {
-            CrossInput::plain(q, &gcfg)
-        };
-        let gin_embed = self.embed(q);
-        self.gnn_timer.add(t0.elapsed());
+        let _s = span("gnn.context");
+        let gnn_timer = TimerCell::new();
+        let (input, gin_embed) = gnn_timer.time(|| {
+            let gcfg = self.gnn_config();
+            let input = if use_cg {
+                let cg = CompressedGnnGraph::build(q, self.cfg.layers);
+                CrossInput::compressed(&cg, &gcfg)
+            } else {
+                CrossInput::plain(q, &gcfg)
+            };
+            (input, self.embed(q))
+        });
         QueryContext {
             input,
             gin_embed,
-            pair_cache: RefCell::new(Default::default()),
+            pair_cache: RefCell::new(PairSlab::new(self.cross.pair_dim())),
+            gnn_timer,
+            hit: lan_obs::counter(names::GNN_INFER_CACHE_HIT),
+            miss: lan_obs::counter(names::GNN_INFER_CACHE_MISS),
         }
+    }
+
+    /// Fills the per-query cache for every id in `ids` (tape-free forwards
+    /// for the misses), counting hits and misses per lookup.
+    fn ensure_pairs(&self, ctx: &QueryContext, ids: &[u32], use_cg: bool) {
+        let mut slab = ctx.pair_cache.borrow_mut();
+        slab.ensure_capacity(self.db_embeds.len());
+        let PairSlab {
+            dim,
+            data,
+            present,
+            tmp,
+        } = &mut *slab;
+        ctx.gnn_timer.time(|| {
+            lan_gnn::with_scratch(|scr| {
+                for &g in ids {
+                    let gi = g as usize;
+                    if present[gi] {
+                        ctx.hit.inc();
+                        continue;
+                    }
+                    ctx.miss.inc();
+                    let input = if use_cg {
+                        &self.db_inputs_cg[gi]
+                    } else {
+                        &self.db_inputs_plain[gi]
+                    };
+                    self.cross
+                        .infer_pair(&self.cross_store, input, &ctx.input, scr, tmp);
+                    data[gi * *dim..(gi + 1) * *dim].copy_from_slice(tmp);
+                    present[gi] = true;
+                }
+            })
+        });
     }
 
     /// The cross-graph pair embedding `h_G ‖ h_Q` for database graph `g`.
     /// `use_cg` selects the compressed database input (Definition 3).
     pub fn pair_embedding(&self, ctx: &QueryContext, g: u32, use_cg: bool) -> Vec<f32> {
-        if let Some(v) = ctx.pair_cache.borrow().get(&g) {
-            return v.clone();
+        self.ensure_pairs(ctx, std::slice::from_ref(&g), use_cg);
+        ctx.pair_cache.borrow().row(g).to_vec()
+    }
+
+    /// Tape-path twin of [`LanModels::pair_embedding`], kept as the bench
+    /// baseline (and an in-situ equivalence anchor): same cache, but misses
+    /// run the autograd forward.
+    pub fn pair_embedding_tape(&self, ctx: &QueryContext, g: u32, use_cg: bool) -> Vec<f32> {
+        {
+            let slab = ctx.pair_cache.borrow();
+            if slab.has(g) {
+                return slab.row(g).to_vec();
+            }
         }
-        let t0 = Instant::now();
         let gi = if use_cg {
             &self.db_inputs_cg[g as usize]
         } else {
@@ -404,33 +545,34 @@ impl LanModels {
             .cross
             .forward(&mut tape, &self.cross_store, gi, &ctx.input);
         let v = tape.value(out.h_pair).data().to_vec();
-        self.gnn_timer.add(t0.elapsed());
-        ctx.pair_cache.borrow_mut().insert(g, v.clone());
+        let mut slab = ctx.pair_cache.borrow_mut();
+        slab.ensure_capacity(self.db_embeds.len());
+        slab.insert(g, &v);
         v
     }
 
     /// `M_nh` logit for database graph `g`.
     pub fn nh_logit(&self, ctx: &QueryContext, g: u32, use_cg: bool) -> f32 {
-        let pair = self.pair_embedding(ctx, g, use_cg);
-        let t0 = Instant::now();
-        let mut tape = Tape::new();
-        let x = tape.leaf(Matrix::from_vec(1, pair.len(), pair));
-        let logit = self.nh_head.forward(&mut tape, &self.cross_store, x);
-        let z = tape.value(logit).scalar();
-        self.gnn_timer.add(t0.elapsed());
-        z
+        self.ensure_pairs(ctx, std::slice::from_ref(&g), use_cg);
+        let slab = ctx.pair_cache.borrow();
+        ctx.gnn_timer.time(|| {
+            RANK_SCRATCH.with(|rs| {
+                self.nh_head
+                    .infer_scalar(&self.cross_store, slab.row(g), &mut rs.borrow_mut().mlp)
+            })
+        })
     }
 
     /// The predicted neighborhood `N̂_Q` using the optimized cluster-based
     /// design (paper §V-B2): `M_c` scores every cluster, `M_nh` is applied
     /// only within the best `top_clusters`.
     pub fn predicted_neighborhood(&self, ctx: &QueryContext, use_cg: bool) -> Vec<u32> {
-        let t0 = Instant::now();
-        let mut scored: Vec<(f32, usize)> = (0..self.kmeans.k())
-            .map(|c| (self.mc_score(ctx, c), c))
-            .collect();
-        self.gnn_timer.add(t0.elapsed());
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut scored: Vec<(f32, usize)> = ctx.gnn_timer.time(|| {
+            (0..self.kmeans.k())
+                .map(|c| (self.mc_score(ctx, c), c))
+                .collect()
+        });
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let members = self.kmeans.members();
         let mut out = Vec::new();
         for &(_, c) in scored.iter().take(self.cfg.top_clusters) {
@@ -453,13 +595,14 @@ impl LanModels {
 
     /// `M_c`'s predicted (normalized) intersection of cluster `c` with N_Q.
     pub fn mc_score(&self, ctx: &QueryContext, c: usize) -> f32 {
-        let centroid = &self.kmeans.centroids[c];
-        let mut input = centroid.clone();
-        input.extend_from_slice(&ctx.gin_embed);
-        let mut tape = Tape::new();
-        let x = tape.leaf(Matrix::from_vec(1, input.len(), input));
-        let out = self.mc_head.forward(&mut tape, &self.mc_store, x);
-        tape.value(out).scalar()
+        RANK_SCRATCH.with(|rs| {
+            let rs = &mut *rs.borrow_mut();
+            rs.input.clear();
+            rs.input.extend_from_slice(&self.kmeans.centroids[c]);
+            rs.input.extend_from_slice(&ctx.gin_embed);
+            self.mc_head
+                .infer_scalar(&self.mc_store, &rs.input, &mut rs.mlp)
+        })
     }
 
     /// Ranker-driven batch partition of a node's neighbors (paper §IV-C).
@@ -476,12 +619,40 @@ impl LanModels {
         d_node: f64,
         use_cg: bool,
     ) -> Vec<Vec<u32>> {
+        self.rank_batches_mode(ctx, node, neighbors, d_node, use_cg, true)
+    }
+
+    /// [`LanModels::rank_batches`] scoring each neighbor as its own 1-row
+    /// batch through the same fused kernels. Bit-identical to the batched
+    /// path (each fused output row depends only on its own input row);
+    /// exists so the equivalence property tests can pin that down.
+    pub fn rank_batches_per_neighbor(
+        &self,
+        ctx: &QueryContext,
+        node: u32,
+        neighbors: &[u32],
+        d_node: f64,
+        use_cg: bool,
+    ) -> Vec<Vec<u32>> {
+        self.rank_batches_mode(ctx, node, neighbors, d_node, use_cg, false)
+    }
+
+    fn rank_batches_mode(
+        &self,
+        ctx: &QueryContext,
+        node: u32,
+        neighbors: &[u32],
+        d_node: f64,
+        use_cg: bool,
+        batched: bool,
+    ) -> Vec<Vec<u32>> {
         if neighbors.is_empty() {
             return Vec::new();
         }
         if d_node > self.gamma_star {
             return vec![neighbors.to_vec()];
         }
+        let _s = span("gnn.rank");
         // Each M_rk^i answers "is this neighbor in the top i·y%?". Summing
         // the sigmoid scores gives the expected number of top-sets the
         // neighbor belongs to — a monotone rank score that is far more
@@ -489,10 +660,89 @@ impl LanModels {
         // sorted by that score and chunked into the y% batches of
         // Algorithm 4, exactly like the oracle ranker but with the learned
         // score in place of the true distance.
+        self.ensure_pairs(ctx, neighbors, use_cg);
+        let slab = ctx.pair_cache.borrow();
+        let h_g = &self.db_embeds[node as usize];
+        let dim = rk_feature_dim(self.cfg.embed_dim);
+        let mut scored: Vec<(f32, u32)> = RANK_SCRATCH.with(|rs| {
+            let rs = &mut *rs.borrow_mut();
+            ctx.gnn_timer.time(|| {
+                if batched {
+                    // One stacked feature matrix, one fused matmul for the
+                    // whole hop.
+                    rs.feats.reset(neighbors.len(), dim);
+                    for (i, &nb) in neighbors.iter().enumerate() {
+                        rk_feature_into(
+                            rs.feats.row_mut(i),
+                            slab.row(nb),
+                            h_g,
+                            &ctx.gin_embed,
+                            &self.db_embeds[nb as usize],
+                        );
+                    }
+                    self.rk_fused
+                        .score_into(&rs.feats, &mut rs.hidden, &mut rs.logits);
+                    neighbors
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &nb)| {
+                            let mut score = 0.0f32;
+                            for hd in 0..self.rk_fused.num_heads {
+                                score += sigmoid(rs.logits.get(i, hd));
+                            }
+                            (score, nb)
+                        })
+                        .collect()
+                } else {
+                    neighbors
+                        .iter()
+                        .map(|&nb| {
+                            rs.feats.reset(1, dim);
+                            rk_feature_into(
+                                rs.feats.row_mut(0),
+                                slab.row(nb),
+                                h_g,
+                                &ctx.gin_embed,
+                                &self.db_embeds[nb as usize],
+                            );
+                            self.rk_fused
+                                .score_into(&rs.feats, &mut rs.hidden, &mut rs.logits);
+                            let mut score = 0.0f32;
+                            for hd in 0..self.rk_fused.num_heads {
+                                score += sigmoid(rs.logits.get(0, hd));
+                            }
+                            (score, nb)
+                        })
+                        .collect()
+                }
+            })
+        });
+        sort_scored_desc(&mut scored);
+        let ranked: Vec<u32> = scored.into_iter().map(|(_, nb)| nb).collect();
+        lan_pg::np_route::chunk_batches(ranked, self.cfg.batch_pct)
+    }
+
+    /// The pre-fast-path implementation — per-neighbor autograd tapes for
+    /// the pair embedding and one fresh tape per ranker head — kept as the
+    /// bench baseline (`bench/gnn_inference` measures the speedup of
+    /// [`LanModels::rank_batches`] over this).
+    pub fn rank_batches_tape(
+        &self,
+        ctx: &QueryContext,
+        node: u32,
+        neighbors: &[u32],
+        d_node: f64,
+        use_cg: bool,
+    ) -> Vec<Vec<u32>> {
+        if neighbors.is_empty() {
+            return Vec::new();
+        }
+        if d_node > self.gamma_star {
+            return vec![neighbors.to_vec()];
+        }
         let mut scored: Vec<(f32, u32)> = Vec::with_capacity(neighbors.len());
         for &nb in neighbors {
-            let pair = self.pair_embedding(ctx, nb, use_cg);
-            let t0 = Instant::now();
+            let pair = self.pair_embedding_tape(ctx, nb, use_cg);
             let feat = rk_feature(
                 &pair,
                 &self.db_embeds[node as usize],
@@ -506,14 +756,9 @@ impl LanModels {
                 let logit = head.forward(&mut tape, &self.rk_store, x);
                 score += sigmoid(tape.value(logit).scalar());
             }
-            self.gnn_timer.add(t0.elapsed());
             scored.push((score, nb));
         }
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        sort_scored_desc(&mut scored);
         let ranked: Vec<u32> = scored.into_iter().map(|(_, nb)| nb).collect();
         lan_pg::np_route::chunk_batches(ranked, self.cfg.batch_pct)
     }
@@ -833,5 +1078,54 @@ fn train_mc(
             tape.backward(loss, mc_store);
             adam.step(mc_store);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_scored_desc_is_nan_safe_and_deterministic() {
+        // Regression for the old `partial_cmp(..).unwrap_or(Equal)` sort: a
+        // NaN score must neither panic nor scramble the order depending on
+        // input permutation.
+        let mut a = vec![(f32::NAN, 3), (1.0, 1), (f32::NAN, 2), (0.5, 4)];
+        let mut b = vec![(0.5, 4), (f32::NAN, 2), (1.0, 1), (f32::NAN, 3)];
+        sort_scored_desc(&mut a);
+        sort_scored_desc(&mut b);
+        // Compare bit patterns: `==` on NaN floats is always false.
+        let bits = |v: &[(f32, u32)]| -> Vec<(u32, u32)> {
+            v.iter().map(|&(s, id)| (s.to_bits(), id)).collect()
+        };
+        assert_eq!(
+            bits(&a),
+            bits(&b),
+            "sort must be permutation-invariant with NaNs"
+        );
+        // NaN sorts ahead of every finite score under descending total_cmp,
+        // with the id tiebreak keeping equal scores deterministic.
+        let ids: Vec<u32> = a.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn sort_scored_desc_ties_break_by_id() {
+        let mut v = vec![(1.0f32, 9), (1.0, 2), (1.0, 5)];
+        sort_scored_desc(&mut v);
+        let ids: Vec<u32> = v.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn rk_feature_into_matches_rk_feature() {
+        let pair = [0.1f32, -0.4, 0.0, 2.0];
+        let h_g = [1.0f32, 0.5];
+        let q_gin = [0.2f32, -1.0];
+        let nb_gin = [0.1f32, 0.7];
+        let want = rk_feature(&pair, &h_g, &q_gin, &nb_gin);
+        let mut got = vec![0.0f32; want.len()];
+        rk_feature_into(&mut got, &pair, &h_g, &q_gin, &nb_gin);
+        assert_eq!(got, want);
     }
 }

@@ -1,0 +1,118 @@
+//! Equivalence properties of the tape-free inference fast path at the
+//! models layer: the batched+cached `LearnedRanker` must route exactly
+//! like the per-neighbor path, and the tape-free pair embeddings must
+//! match the autograd-tape baseline.
+
+use lan_datasets::{Dataset, DatasetSpec};
+use lan_ged::GedMethod;
+use lan_models::{LanModels, LearnedRanker, ModelConfig};
+use lan_pg::np_route::np_route;
+use lan_pg::{DistCache, PairCache, PgConfig, ProximityGraph};
+
+fn tiny_setup() -> (Dataset, ProximityGraph, LanModels) {
+    let spec = DatasetSpec::syn()
+        .with_graphs(60)
+        .with_queries(20)
+        .with_metric(GedMethod::Hungarian);
+    let ds = Dataset::generate(spec);
+    let pair_fn = |a: u32, b: u32| ds.pair_distance(a, b);
+    let pairs = PairCache::new(&pair_fn);
+    let pg = ProximityGraph::build(ds.graphs.len(), &pairs, &PgConfig::new(4));
+    let train_dists: Vec<Vec<f64>> = ds
+        .split
+        .train
+        .iter()
+        .map(|&qi| {
+            (0..ds.graphs.len() as u32)
+                .map(|g| ds.distance(&ds.queries[qi], g))
+                .collect()
+        })
+        .collect();
+    let cfg = ModelConfig {
+        embed_dim: 8,
+        epochs: 2,
+        max_samples_per_epoch: 200,
+        nh_cover_k: 10,
+        clusters: 4,
+        top_clusters: 2,
+        mlp_hidden: 8,
+        ..ModelConfig::default()
+    };
+    let (models, _report) = LanModels::train(&ds, pg.base(), &train_dists, cfg);
+    (ds, pg, models)
+}
+
+/// The fused batched hop forward must be bit-identical to scoring each
+/// neighbor as its own 1-row batch: each fused output row depends only on
+/// its own input row, so stacking cannot change a single bit.
+#[test]
+fn batched_ranking_is_bit_identical_to_per_neighbor() {
+    let (ds, pg, models) = tiny_setup();
+    for (qi, use_cg) in [(0usize, true), (1, false)] {
+        let q = &ds.queries[ds.split.test[qi]];
+        let ctx_a = models.query_context(q, use_cg);
+        let ctx_b = models.query_context(q, use_cg);
+        for node in 0..pg.base().len().min(12) as u32 {
+            let neighbors = &pg.base()[node as usize];
+            // Inside the neighborhood so ranking actually runs.
+            let a = models.rank_batches(&ctx_a, node, neighbors, 0.0, use_cg);
+            let b = models.rank_batches_per_neighbor(&ctx_b, node, neighbors, 0.0, use_cg);
+            assert_eq!(a, b, "node {node} use_cg={use_cg}: batches diverged");
+        }
+    }
+}
+
+/// End-to-end routing equivalence: `np_route` driven by the default
+/// (batched, cached) ranker returns the same results and NDC as the
+/// per-neighbor ranker, on both plain and CG inference.
+#[test]
+fn np_route_identical_under_batched_and_per_neighbor_rankers() {
+    let (ds, pg, models) = tiny_setup();
+    for use_cg in [true, false] {
+        for qi in 0..3 {
+            let q = &ds.queries[ds.split.test[qi]];
+            let qd = |g: u32| ds.distance(q, g);
+
+            // Entry selection gets its own cache so both routed caches
+            // start empty and report comparable NDC.
+            let entry = pg.hnsw_entry(&DistCache::new(&qd));
+
+            let ctx_a = models.query_context(q, use_cg);
+            let cache_a = DistCache::new(&qd);
+            let ranker_a = LearnedRanker::new(&models, &ctx_a, use_cg);
+            let res_a = np_route(pg.base(), &cache_a, &ranker_a, &[entry], 8, 5, 1.0);
+
+            let ctx_b = models.query_context(q, use_cg);
+            let cache_b = DistCache::new(&qd);
+            let ranker_b = LearnedRanker::per_neighbor(&models, &ctx_b, use_cg);
+            let res_b = np_route(pg.base(), &cache_b, &ranker_b, &[entry], 8, 5, 1.0);
+
+            assert_eq!(res_a.results, res_b.results, "qi={qi} use_cg={use_cg}");
+            assert_eq!(res_a.ndc, res_b.ndc, "qi={qi} use_cg={use_cg}");
+        }
+    }
+}
+
+/// The tape-free pair embedding must equal the autograd-tape baseline
+/// exactly — the infer kernels replicate the tape ops' accumulation order
+/// bit for bit, and both paths share the per-query cache.
+#[test]
+fn cached_pair_embedding_matches_tape_baseline() {
+    let (ds, _pg, models) = tiny_setup();
+    for use_cg in [true, false] {
+        let q = &ds.queries[ds.split.test[0]];
+        // Separate contexts so each path computes its embeddings from
+        // scratch rather than reading the other's cache.
+        let ctx_infer = models.query_context(q, use_cg);
+        let ctx_tape = models.query_context(q, use_cg);
+        for g in 0..ds.graphs.len().min(16) as u32 {
+            let fast = models.pair_embedding(&ctx_infer, g, use_cg);
+            let tape = models.pair_embedding_tape(&ctx_tape, g, use_cg);
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                tape.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "pair {g} use_cg={use_cg}: infer and tape embeddings differ"
+            );
+        }
+    }
+}

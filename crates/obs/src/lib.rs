@@ -80,6 +80,14 @@ pub mod names {
     pub const GNN_FORWARD_CALLS: &str = "gnn.forward_calls";
     /// GIN embedding computations.
     pub const GNN_EMBED_CALLS: &str = "gnn.embed_calls";
+    /// Tape-free cross-graph forwards on the inference fast path (each one
+    /// also counts into [`GNN_FORWARD_CALLS`], the total over both paths).
+    pub const GNN_INFER_FORWARDS: &str = "gnn.infer.forwards";
+    /// Per-query pair-embedding cache lookups answered from memory.
+    pub const GNN_INFER_CACHE_HIT: &str = "gnn.infer.cache.hit";
+    /// Per-query pair-embedding cache misses (each one is a tape-free
+    /// cross-graph forward).
+    pub const GNN_INFER_CACHE_MISS: &str = "gnn.infer.cache.miss";
     /// Queries answered (one per `search_with` / merged sharded query).
     pub const QUERY_COUNT: &str = "query.count";
     /// Queries that ended with a non-`Converged` `Termination` — a

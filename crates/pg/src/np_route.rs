@@ -89,6 +89,26 @@ struct BatchState {
     opened: usize,
 }
 
+/// Ranks `g`'s neighbors on first touch. A free function over the router's
+/// disjoint fields so callers can keep borrowing their scratch buffers.
+fn ensure_batches<'b, R: NeighborRanker>(
+    batches: &'b mut HashMap<u32, BatchState>,
+    ranker: &R,
+    adj: &[Vec<u32>],
+    cache: &DistCache<'_>,
+    g: u32,
+) -> &'b mut BatchState {
+    batches.entry(g).or_insert_with(|| {
+        // `g` is always pooled here, so its distance is already cached —
+        // this lookup is a hit and never charges the budget.
+        let d_node = cache.get(g);
+        BatchState {
+            batches: ranker.rank(g, &adj[g as usize], d_node),
+            opened: 0,
+        }
+    })
+}
+
 struct NpRouter<'a, R: NeighborRanker> {
     adj: &'a [Vec<u32>],
     cache: &'a DistCache<'a>,
@@ -98,6 +118,14 @@ struct NpRouter<'a, R: NeighborRanker> {
     /// and the best-so-far pool is returned with this tag.
     stopped: Option<Termination>,
     batches: HashMap<u32, BatchState>,
+    /// Reusable copy of the batch being opened: batch members are copied
+    /// here instead of cloning a fresh `Vec` per opened batch.
+    batch_scratch: Vec<u32>,
+    /// Flattened opened-batch members for the stage-2 re-scan, with
+    /// per-batch lengths in `rescan_lens` — replaces the per-call
+    /// `batches[..opened].to_vec()` clone of nested vectors.
+    rescan_scratch: Vec<u32>,
+    rescan_lens: Vec<usize>,
     w: Pool,
     state: RouterState,
     // Pre-resolved metric handles — increments on the routing hot loop are
@@ -172,58 +200,41 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
         }
     }
 
-    fn batch_state(&mut self, g: u32) -> &mut BatchState {
-        // `g` is always pooled here, so its distance is already cached —
-        // this lookup is a hit and never charges the budget.
-        let d_node = self.cache.get(g);
-        let adj = self.adj;
-        let ranker = self.ranker;
-        self.batches.entry(g).or_insert_with(|| BatchState {
-            batches: ranker.rank(g, &adj[g as usize], d_node),
-            opened: 0,
-        })
+    /// Copies the next unopened batch of `g` into `self.batch_scratch` and
+    /// advances the opened cursor. `false` means every batch is open.
+    fn take_next_batch(&mut self, g: u32) -> bool {
+        let st = ensure_batches(&mut self.batches, self.ranker, self.adj, self.cache, g);
+        if st.opened >= st.batches.len() {
+            return false;
+        }
+        self.batch_scratch.clear();
+        self.batch_scratch.extend_from_slice(&st.batches[st.opened]);
+        st.opened += 1;
+        true
     }
 
     /// Algorithm 4: open further batches of `g` under threshold `gamma`.
     fn rank_expl(&mut self, g: u32, gamma: f64) {
         // Farthest already-known neighbor among opened batches (line 3-6).
         {
-            let (opened, opened_members): (usize, Vec<u32>) = {
-                let st = self.batch_state(g);
-                (
-                    st.opened,
-                    st.batches[..st.opened].iter().flatten().copied().collect(),
-                )
-            };
+            let st = ensure_batches(&mut self.batches, self.ranker, self.adj, self.cache, g);
             let mut farthest = f64::NEG_INFINITY;
-            for nb in opened_members {
+            for &nb in st.batches[..st.opened].iter().flatten() {
                 // Opened neighbors always have cached distances.
                 if let Some(d) = self.cache.peek(nb) {
                     farthest = farthest.max(d);
                 }
             }
-            if opened > 0 && farthest >= gamma {
+            if st.opened > 0 && farthest >= gamma {
                 self.note_prune(g);
                 return;
             }
         }
-        loop {
-            let (batch, done) = {
-                let st = self.batch_state(g);
-                if st.opened >= st.batches.len() {
-                    (Vec::new(), true)
-                } else {
-                    let b = st.batches[st.opened].clone();
-                    st.opened += 1;
-                    (b, false)
-                }
-            };
-            if done {
-                return;
-            }
+        while self.take_next_batch(g) {
             self.m_opened.inc();
             let mut hit = false;
-            for nb in batch {
+            for i in 0..self.batch_scratch.len() {
+                let nb = self.batch_scratch[i];
                 let Some(d) = self.try_get(nb) else { return };
                 self.w.add(nb, d);
                 if d >= gamma {
@@ -241,47 +252,52 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
     /// w.r.t. threshold `gamma` (opened batches contribute their unexplored
     /// members; further batches are opened until one crosses the threshold).
     fn all_quali_neigh(&mut self, g: u32, gamma: f64) {
-        // Re-scan opened batches (lines 3-10).
+        // Re-scan opened batches (lines 3-10), flattened into the reusable
+        // scratch (members + per-batch lengths) instead of a nested clone.
         {
-            let opened_batches: Vec<Vec<u32>> = {
-                let st = self.batch_state(g);
-                st.batches[..st.opened].to_vec()
-            };
-            for b in opened_batches {
-                let mut hit = false;
-                for nb in b {
-                    if !self.state.is_explored(nb) {
-                        let d = self.cache.get(nb); // cached: batch was opened
-                        self.w.add(nb, d);
-                        if d >= gamma {
-                            hit = true;
-                        }
-                    }
-                }
-                if hit {
-                    self.note_prune(g);
-                    return;
-                }
+            let NpRouter {
+                batches,
+                ranker,
+                adj,
+                cache,
+                rescan_scratch,
+                rescan_lens,
+                ..
+            } = self;
+            let st = ensure_batches(batches, *ranker, adj, cache, g);
+            rescan_scratch.clear();
+            rescan_lens.clear();
+            for b in &st.batches[..st.opened] {
+                rescan_scratch.extend_from_slice(b);
+                rescan_lens.push(b.len());
             }
         }
-        // Open remaining batches (lines 11-18).
-        loop {
-            let (batch, done) = {
-                let st = self.batch_state(g);
-                if st.opened >= st.batches.len() {
-                    (Vec::new(), true)
-                } else {
-                    let b = st.batches[st.opened].clone();
-                    st.opened += 1;
-                    (b, false)
+        let mut start = 0usize;
+        for bi in 0..self.rescan_lens.len() {
+            let len = self.rescan_lens[bi];
+            let mut hit = false;
+            for i in start..start + len {
+                let nb = self.rescan_scratch[i];
+                if !self.state.is_explored(nb) {
+                    let d = self.cache.get(nb); // cached: batch was opened
+                    self.w.add(nb, d);
+                    if d >= gamma {
+                        hit = true;
+                    }
                 }
-            };
-            if done {
+            }
+            if hit {
+                self.note_prune(g);
                 return;
             }
+            start += len;
+        }
+        // Open remaining batches (lines 11-18).
+        while self.take_next_batch(g) {
             self.m_opened.inc();
             let mut hit = false;
-            for nb in batch {
+            for i in 0..self.batch_scratch.len() {
+                let nb = self.batch_scratch[i];
                 let Some(d) = self.try_get(nb) else { return };
                 self.w.add(nb, d);
                 if d >= gamma {
@@ -351,6 +367,9 @@ pub fn np_route_budgeted<R: NeighborRanker>(
         ctx,
         stopped: None,
         batches: HashMap::new(),
+        batch_scratch: Vec::new(),
+        rescan_scratch: Vec::new(),
+        rescan_lens: Vec::new(),
         w: Pool::new(),
         state: RouterState::new(),
         m_hops: lan_obs::counter(names::ROUTE_HOPS),
@@ -388,7 +407,10 @@ pub fn np_route_budgeted<R: NeighborRanker>(
                 if let Some(q) = r.trace_q {
                     trace::emit_gamma(q, gamma);
                 }
-                for g in r.state.order.clone() {
+                // Index loop: `all_quali_neigh` never appends to the
+                // exploration order, so this avoids cloning it each round.
+                for i in 0..r.state.order.len() {
+                    let g = r.state.order[i];
                     r.all_quali_neigh(g, gamma);
                     if r.stopped.is_some() {
                         break 'escalate;

@@ -38,8 +38,8 @@ pub mod optim;
 pub mod param;
 pub mod tape;
 
-pub use matrix::Matrix;
-pub use nn::{Linear, Mlp};
+pub use matrix::{dot, Matrix};
+pub use nn::{FusedHeads, Linear, Mlp, MlpScratch};
 pub use optim::{Adam, StepDecay};
 pub use param::ParamStore;
 pub use tape::{sigmoid, Tape, Var};

@@ -110,8 +110,32 @@ impl Matrix {
         self.data[0]
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing allocation,
+    /// and zeroes the contents. The workhorse of the `*_into` kernels.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
     /// Matrix product `self @ rhs`. Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned output, reusing its
+    /// allocation. Bit-identical to `matmul` (same i-k-j axpy loop, same
+    /// accumulation order, same zero-skip).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -119,7 +143,7 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reset(self.rows, rhs.cols);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -133,7 +157,58 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// `self @ rhs_t.T` with the right-hand side already transposed:
+    /// `out[i][j] = self.row(i) · rhs_t.row(j)`. Both operands stream
+    /// row-major, so the inner loop is a pure dot product that the
+    /// autovectorizer turns into SIMD lanes (see [`dot`]). Use this layout
+    /// for dense weight matrices on the inference fast path; accumulation
+    /// order differs from [`Matrix::matmul`] by reassociation only
+    /// (ulp-scale differences).
+    pub fn matmul_transb(&self, rhs_t: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transb_into(rhs_t, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul_transb`] into a caller-owned output.
+    pub fn matmul_transb_into(&self, rhs_t: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs_t.cols,
+            "matmul_transb shape mismatch {:?} x {:?}^T",
+            self.shape(),
+            rhs_t.shape()
+        );
+        out.reset(self.rows, rhs_t.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * rhs_t.rows..(i + 1) * rhs_t.rows];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &rhs_t.data[j * rhs_t.cols..(j + 1) * rhs_t.cols];
+                *o = dot(a_row, b_row);
+            }
+        }
+    }
+
+    /// Row-vector product `out = x @ self` (`x: 1 × rows`, `out: 1 × cols`)
+    /// as an axpy sweep over the rows of `self`, reusing `out`'s
+    /// allocation. Bit-identical to `matmul` on a `1 × rows` left operand
+    /// (same k-order accumulation, same zero-skip).
+    pub fn matvec_axpy(&self, x: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.rows, "matvec_axpy length mismatch");
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
     }
 
     /// Transpose.
@@ -256,6 +331,30 @@ impl Matrix {
     }
 }
 
+/// Dot product with four independent accumulators over unrolled blocks so
+/// the compiler can keep partial sums in separate SIMD lanes (a single
+/// serial accumulator is a loop-carried dependency that blocks
+/// vectorization). Reassociates relative to a serial sum: differences are
+/// ulp-scale.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +440,77 @@ mod tests {
         let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
         let b = Matrix::from_vec(1, 3, vec![1., 2.5, 2.]);
         assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Matrix::zeros(1, 1);
+        for _ in 0..10 {
+            let a = Matrix::from_fn(5, 7, |_, _| rng.gen_range(-1.0..1.0f32));
+            let b = Matrix::from_fn(7, 3, |_, _| rng.gen_range(-1.0..1.0f32));
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul(&b), "matmul_into diverged");
+        }
+    }
+
+    #[test]
+    fn matmul_transb_matches_plain_matmul() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let a = Matrix::from_fn(6, 9, |_, _| rng.gen_range(-1.0..1.0f32));
+            let b = Matrix::from_fn(9, 4, |_, _| rng.gen_range(-1.0..1.0f32));
+            let want = a.matmul(&b);
+            let got = a.matmul_transb(&b.transpose());
+            assert_eq!(got.shape(), want.shape());
+            assert!(
+                got.max_abs_diff(&want) < 1e-5,
+                "transb diverged by {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_axpy_matches_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            // Include exact zeros so the skip-zero path is exercised.
+            let x: Vec<f32> = (0..8)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let m = Matrix::from_fn(8, 5, |_, _| rng.gen_range(-1.0..1.0f32));
+            m.matvec_axpy(&x, &mut out);
+            let want = Matrix::from_vec(1, 8, x.clone()).matmul(&m);
+            assert_eq!(out.as_slice(), want.data(), "axpy not bit-identical");
+        }
+    }
+
+    #[test]
+    fn dot_matches_serial_sum() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for len in [0usize, 1, 3, 4, 7, 16, 33] {
+            let a: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let serial: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - serial).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        m.reset(3, 1);
+        assert_eq!(m.shape(), (3, 1));
+        assert!(m.data().iter().all(|&x| x == 0.0));
+        m.row_mut(1)[0] = 5.0;
+        assert_eq!(m.get(1, 0), 5.0);
     }
 }

@@ -1,4 +1,6 @@
-//! Neural-network building blocks: linear layers and MLPs.
+//! Neural-network building blocks: linear layers and MLPs, plus the
+//! tape-free inference kernels ([`Mlp::infer_scalar`], [`FusedHeads`]) used
+//! by the query-time fast path.
 
 use crate::matrix::Matrix;
 use crate::param::ParamStore;
@@ -92,6 +94,143 @@ impl Mlp {
     pub fn out_dim(&self) -> usize {
         self.layers.last().map(|l| l.out_dim).unwrap_or(0)
     }
+
+    /// Tape-free forward for a single input row with a scalar output.
+    /// Bit-identical to the tape path ([`Mlp::forward`] on a `1 × in_dim`
+    /// leaf): same axpy matmul, same bias-after-matmul order, same ReLU.
+    /// `scratch` carries the ping-pong activation buffers across calls.
+    pub fn infer_scalar(&self, store: &ParamStore, x: &[f32], scratch: &mut MlpScratch) -> f32 {
+        assert_eq!(x.len(), self.in_dim(), "infer_scalar input dim mismatch");
+        assert_eq!(self.out_dim(), 1, "infer_scalar needs a scalar head");
+        let MlpScratch { a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(x);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let w = store.value(layer.w);
+            w.matvec_axpy(a, b);
+            let bias = store.value(layer.b);
+            for (o, &bb) in b.iter_mut().zip(bias.data()) {
+                *o += bb;
+            }
+            if i + 1 < self.layers.len() {
+                for o in b.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+            std::mem::swap(a, b);
+        }
+        a[0]
+    }
+}
+
+/// Reusable activation buffers for [`Mlp::infer_scalar`].
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+/// A bank of identically-shaped `[d, h, 1]` MLP heads fused into two dense
+/// matrices so all heads score a whole batch of inputs with one matmul
+/// instead of `heads × rows` separate 1×d tapes.
+///
+/// Layer-1 weights are stored side by side (`w1: d × (heads·h)`, column
+/// `head·h + j` = column `j` of that head's `W1`), so the batched layer-1
+/// is one axpy [`Matrix::matmul_into`] — the inner loop runs over the
+/// `heads·h` contiguous outputs, which vectorizes, instead of a
+/// latency-bound dot per output. Because that is the *same* kernel (and
+/// the same k-order accumulation, zero-skip included) the tape's `matmul`
+/// op uses, a fused logit is bit-identical to the per-head tape forward.
+/// Each output row depends only on its own input row, so scoring a batch
+/// is also bit-identical to scoring its rows one at a time.
+#[derive(Debug, Clone)]
+pub struct FusedHeads {
+    pub num_heads: usize,
+    pub in_dim: usize,
+    pub hidden: usize,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+}
+
+impl FusedHeads {
+    /// Snapshots the given heads' parameters. All heads must be two-layer
+    /// `[d, h, 1]` MLPs of identical shape.
+    pub fn new(heads: &[Mlp], store: &ParamStore) -> Self {
+        assert!(!heads.is_empty(), "FusedHeads needs at least one head");
+        let in_dim = heads[0].in_dim();
+        let hidden = heads[0].layers[0].out_dim;
+        let num_heads = heads.len();
+        let mut w1 = Matrix::zeros(in_dim, num_heads * hidden);
+        let mut b1 = vec![0.0f32; num_heads * hidden];
+        let mut w2 = Matrix::zeros(num_heads, hidden);
+        let mut b2 = vec![0.0f32; num_heads];
+        for (hd, head) in heads.iter().enumerate() {
+            assert_eq!(head.layers.len(), 2, "FusedHeads: heads must be [d,h,1]");
+            assert_eq!(head.in_dim(), in_dim, "FusedHeads: in_dim mismatch");
+            assert_eq!(
+                head.layers[0].out_dim, hidden,
+                "FusedHeads: hidden mismatch"
+            );
+            assert_eq!(head.out_dim(), 1, "FusedHeads: heads must be scalar");
+            let l1w = store.value(head.layers[0].w); // d × h
+            let l1b = store.value(head.layers[0].b); // 1 × h
+            let l2w = store.value(head.layers[1].w); // h × 1
+            let l2b = store.value(head.layers[1].b); // 1 × 1
+            for j in 0..hidden {
+                for k in 0..in_dim {
+                    w1.set(k, hd * hidden + j, l1w.get(k, j));
+                }
+                b1[hd * hidden + j] = l1b.get(0, j);
+                w2.set(hd, j, l2w.get(j, 0));
+            }
+            b2[hd] = l2b.get(0, 0);
+        }
+        FusedHeads {
+            num_heads,
+            in_dim,
+            hidden,
+            w1,
+            b1,
+            w2,
+            b2,
+        }
+    }
+
+    /// Scores every row of `x` (`n × in_dim`) with every head:
+    /// `out[i][head]` is that head's pre-sigmoid logit for row `i`,
+    /// bit-identical to that head's own tape forward on that row.
+    /// `hidden` is a reusable `n × (heads·h)` scratch buffer.
+    pub fn score_into(&self, x: &Matrix, hidden: &mut Matrix, out: &mut Matrix) {
+        let n = x.rows();
+        x.matmul_into(&self.w1, hidden);
+        for i in 0..n {
+            let row = hidden.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(&self.b1) {
+                *v = (*v + b).max(0.0);
+            }
+        }
+        out.reset(n, self.num_heads);
+        for i in 0..n {
+            let h_row = hidden.row(i);
+            for hd in 0..self.num_heads {
+                // Serial k-order accumulation with the zero-skip, exactly
+                // like the tape's 1×h @ h×1 matmul — ReLU zeros are skipped
+                // there, so they must be skipped here for bitwise parity.
+                let h_slice = &h_row[hd * self.hidden..(hd + 1) * self.hidden];
+                let w_row = self.w2.row(hd);
+                let mut s = 0.0f32;
+                for (k, &hk) in h_slice.iter().enumerate() {
+                    if hk == 0.0 {
+                        continue;
+                    }
+                    s += hk * w_row[k];
+                }
+                out.set(i, hd, s + self.b2[hd]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +308,93 @@ mod tests {
             trained < initial * 0.3,
             "XOR training failed: {initial} -> {trained}"
         );
+    }
+
+    #[test]
+    fn infer_scalar_matches_tape_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut rng, &mut store, &[6, 5, 1]);
+        let mut scratch = MlpScratch::default();
+        for _ in 0..20 {
+            // Exact zeros exercise the axpy zero-skip against the tape path.
+            let x: Vec<f32> = (0..6)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0..2.0)
+                    }
+                })
+                .collect();
+            let mut t = Tape::new();
+            let xv = t.leaf(Matrix::from_vec(1, 6, x.clone()));
+            let y = mlp.forward(&mut t, &store, xv);
+            let want = t.value(y).scalar();
+            let got = mlp.infer_scalar(&store, &x, &mut scratch);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "infer != tape: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_heads_match_per_head_tapes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        let heads: Vec<Mlp> = (0..4)
+            .map(|_| Mlp::new(&mut rng, &mut store, &[7, 5, 1]))
+            .collect();
+        let fused = FusedHeads::new(&heads, &store);
+        assert_eq!(fused.num_heads, 4);
+        let n = 6;
+        let x = Matrix::from_fn(n, 7, |_, _| rng.gen_range(-2.0..2.0f32));
+        let mut hidden = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        fused.score_into(&x, &mut hidden, &mut out);
+        assert_eq!(out.shape(), (n, 4));
+        for i in 0..n {
+            for (hd, head) in heads.iter().enumerate() {
+                let mut t = Tape::new();
+                let xv = t.leaf(Matrix::from_vec(1, 7, x.row(i).to_vec()));
+                let y = head.forward(&mut t, &store, xv);
+                let want = t.value(y).scalar();
+                let got = out.get(i, hd);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "row {i} head {hd}: fused {got} vs tape {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_heads_batch_rows_independent() {
+        // A row's score must not depend on which other rows share the batch.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = ParamStore::new();
+        let heads: Vec<Mlp> = (0..3)
+            .map(|_| Mlp::new(&mut rng, &mut store, &[5, 4, 1]))
+            .collect();
+        let fused = FusedHeads::new(&heads, &store);
+        let x = Matrix::from_fn(8, 5, |_, _| rng.gen_range(-1.0..1.0f32));
+        let mut hidden = Matrix::zeros(0, 0);
+        let (mut batch, mut single) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        fused.score_into(&x, &mut hidden, &mut batch);
+        for i in 0..8 {
+            let xi = Matrix::from_vec(1, 5, x.row(i).to_vec());
+            fused.score_into(&xi, &mut hidden, &mut single);
+            for hd in 0..3 {
+                assert_eq!(
+                    batch.get(i, hd).to_bits(),
+                    single.get(0, hd).to_bits(),
+                    "batching changed row {i} head {hd}"
+                );
+            }
+        }
     }
 
     #[test]
