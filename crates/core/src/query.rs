@@ -11,9 +11,9 @@ use lan_graph::Graph;
 use lan_models::LearnedRanker;
 use lan_obs::{names, span, TimerCell};
 use lan_pg::budget::{budgeted_get, BudgetCtx, Termination};
-use lan_pg::faults::{self, FaultMetrics};
+use lan_pg::faults::{self, FaultMetrics, FaultPlan};
 use lan_pg::np_route::np_route_budgeted;
-use lan_pg::{beam_search_budgeted, DistCache};
+use lan_pg::{beam_search_budgeted, DistBound, DistCache, QueryDistance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -60,6 +60,49 @@ pub struct QueryOutcome {
 impl QueryOutcome {
     pub fn ids(&self) -> Vec<u32> {
         self.results.iter().map(|&(_, id)| id).collect()
+    }
+}
+
+/// The per-query distance oracle: dataset GED behind the timing and
+/// fault-injection layers. `distance_within` runs the threshold-gated GED
+/// kernel cascade — routing results, NDC, and exploration stay
+/// bit-identical to the plain oracle (the routers only prune bounds that
+/// are provably invisible), while `ged.full_evals` drops. An active fault
+/// plan pins every probe to the exact fault path: faults are keyed per
+/// object, and a bound answered without running the primary computation
+/// would dodge its scheduled fault.
+struct DatasetOracle<'a> {
+    dataset: &'a lan_datasets::Dataset,
+    q: &'a Graph,
+    seed: u64,
+    dist_timer: &'a TimerCell,
+    fault_plan: &'a Option<(FaultPlan, FaultMetrics)>,
+}
+
+impl QueryDistance for DatasetOracle<'_> {
+    fn distance(&self, id: u32) -> f64 {
+        self.dist_timer.time(|| match self.fault_plan {
+            Some((plan, fm)) => faults::faulted_distance(
+                plan,
+                fm,
+                self.seed,
+                id,
+                || self.dataset.distance(self.q, id),
+                || self.dataset.distance_fallback(self.q, id),
+            ),
+            None => self.dataset.distance(self.q, id),
+        })
+    }
+
+    fn distance_within(&self, id: u32, tau: f64) -> DistBound {
+        if self.fault_plan.is_some() {
+            return DistBound::Exact(self.distance(id));
+        }
+        self.dist_timer
+            .time(|| match self.dataset.distance_within(self.q, id, tau) {
+                lan_ged::GedBound::Exact(d) => DistBound::Exact(d),
+                lan_ged::GedBound::AtLeast(lb) => DistBound::AtLeast(lb),
+            })
     }
 }
 
@@ -122,7 +165,7 @@ impl LanIndex {
         let t_start = Instant::now();
         let _q_span = span("query");
         lan_obs::counter(names::QUERY_COUNT).inc();
-        // Atomic nanosecond cell instead of RefCell<Duration>: the closure
+        // Atomic nanosecond cell instead of RefCell<Duration>: the oracle
         // must be Sync because DistCache is shared across threads in-search.
         // TimerCell is ungated — QueryOutcome::distance_time stays identical
         // whether metrics are enabled or not.
@@ -131,18 +174,12 @@ impl LanIndex {
         // distance closure; the query seed salts the deterministic draws
         // so different queries fault on different objects.
         let fault_plan = faults::active_plan().map(|p| (p, FaultMetrics::resolve()));
-        let qd = |id: u32| {
-            dist_timer.time(|| match &fault_plan {
-                Some((plan, fm)) => faults::faulted_distance(
-                    plan,
-                    fm,
-                    seed,
-                    id,
-                    || self.dataset.distance(q, id),
-                    || self.dataset.distance_fallback(q, id),
-                ),
-                None => self.dataset.distance(q, id),
-            })
+        let qd = DatasetOracle {
+            dataset: &self.dataset,
+            q,
+            seed,
+            dist_timer: &dist_timer,
+            fault_plan: &fault_plan,
         };
         let cache = DistCache::new(&qd);
 

@@ -138,6 +138,31 @@ impl Dataset {
         ged(q, &self.graphs[id as usize], &self.fallback_metric()).expect("BestOfThree is total")
     }
 
+    /// Threshold-gated operational distance: the GED kernel cascade
+    /// ([`lan_ged::ged_within`]) may answer with an admissible lower bound
+    /// `GedBound::AtLeast(lb)` (`tau <= lb <=` true distance) instead of a
+    /// full solve. An `Exact` answer is bit-identical to
+    /// [`Self::distance`], including the timeout fallback, so callers can
+    /// mix the two freely. Total, never panics.
+    ///
+    /// The signature bounds are lower bounds on the *true* GED while the
+    /// operational metric may be an upper-bounding approximation; since
+    /// `lb <= true <= approx`, a bound that clears `tau` clears it for the
+    /// operational distance too, so the cascade stays admissible for every
+    /// [`lan_ged::GedMethod`].
+    pub fn distance_within(&self, q: &Graph, id: u32, tau: f64) -> lan_ged::GedBound {
+        match lan_ged::ged_within(q, &self.graphs[id as usize], tau, &self.spec.metric) {
+            Some(b) => b,
+            None => {
+                lan_obs::counter(lan_obs::names::GED_TIMEOUT_FALLBACK).inc();
+                lan_ged::GedBound::Exact(
+                    ged(q, &self.graphs[id as usize], &self.fallback_metric())
+                        .expect("BestOfThree is total"),
+                )
+            }
+        }
+    }
+
     /// Average node count over the database.
     pub fn avg_nodes(&self) -> f64 {
         self.graphs.iter().map(|g| g.node_count()).sum::<usize>() as f64 / self.graphs.len() as f64
@@ -163,13 +188,60 @@ impl Dataset {
     /// Brute-force k-NN of `q` under the operational distance — the ground
     /// truth for recall@k. Parallelized over the database (`LAN_THREADS`
     /// overrides the worker count, see `lan-par`).
+    /// The scan runs the GED kernel cascade, filter-verify style:
+    /// candidates are visited in ascending signature-lower-bound order (an
+    /// `O(n)` pass over precomputed signatures), so the near graphs are
+    /// solved first and the k-th best distance tightens immediately; it is
+    /// then frozen as the threshold `t` for each subsequent fixed-size
+    /// chunk, and a candidate whose cascade bound *strictly* exceeds `t`
+    /// is skipped without a full solve. Since the final k-th distance can
+    /// only be `<= t` and ties at `t` are re-solved exactly, the returned
+    /// list is identical to the full scan in any order — only
+    /// `ged.full_evals` drops.
     pub fn ground_truth_knn(&self, q: &Graph, k: usize) -> Vec<(f64, u32)> {
+        const CHUNK: usize = 8;
         let n = self.graphs.len();
-        let mut all: Vec<(f64, u32)> =
-            lan_par::par_map_indices(n, |i| (self.distance(q, i as u32), i as u32));
-        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        all.truncate(k);
-        all
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut keys: Vec<f64> = Vec::with_capacity(n);
+        keys.extend(self.graphs.iter().map(|g| {
+            lan_ged::lower_bounds::label_size_lb(q, g)
+                .max(lan_ged::lower_bounds::label_degree_lb(q, g))
+        }));
+        order.sort_by(|&a, &b| {
+            keys[a as usize]
+                .total_cmp(&keys[b as usize])
+                .then(a.cmp(&b))
+        });
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + CHUNK);
+        for chunk_ids in order.chunks(CHUNK) {
+            // Frozen for the whole chunk: a strict improvement mid-chunk
+            // cannot un-skip anything (the threshold only tightens).
+            let t = if best.len() >= k {
+                best[k - 1].0
+            } else {
+                f64::INFINITY
+            };
+            let chunk: Vec<Option<(f64, u32)>> = lan_par::par_map_indices(chunk_ids.len(), |j| {
+                let i = chunk_ids[j];
+                if t.is_finite() {
+                    match self.distance_within(q, i, t) {
+                        lan_ged::GedBound::Exact(d) => Some((d, i)),
+                        // lb > t: the true distance is strictly beyond the
+                        // frozen k-th and the final k-th is <= t, so `i`
+                        // cannot enter the top-k even through id ties.
+                        lan_ged::GedBound::AtLeast(lb) if lb > t => None,
+                        // lb == t could still tie its way in: solve fully.
+                        lan_ged::GedBound::AtLeast(_) => Some((self.distance(q, i), i)),
+                    }
+                } else {
+                    Some((self.distance(q, i), i))
+                }
+            });
+            best.extend(chunk.into_iter().flatten());
+            best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            best.truncate(k);
+        }
+        best
     }
 }
 
@@ -276,6 +348,55 @@ mod tests {
         serial.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         serial.truncate(5);
         assert_eq!(gt, serial);
+    }
+
+    #[test]
+    fn cascade_ground_truth_matches_full_scan() {
+        // The chunked threshold cascade must be invisible in the output:
+        // same neighbors, same distances, same tie-breaks as a full scan,
+        // across k values that exercise empty, partial, and saturated
+        // threshold regimes (k > CHUNK prefix, ties at the threshold).
+        let d = tiny(DatasetSpec::syn());
+        let mut serial: Vec<(f64, u32)> = Vec::new();
+        for qi in [0usize, 3, 7] {
+            let q = &d.queries[qi];
+            serial.clear();
+            serial.extend((0..d.graphs.len()).map(|i| (d.distance(q, i as u32), i as u32)));
+            serial.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for k in [1usize, 5, 17] {
+                let gt = d.ground_truth_knn(q, k);
+                assert_eq!(gt, serial[..k], "q={qi} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_within_is_admissible_and_exact_compatible() {
+        let d = tiny(DatasetSpec::syn());
+        let q = &d.queries[1];
+        for id in 0..20u32 {
+            let exact = d.distance(q, id);
+            for tau in [0.0, 1.0, exact, exact + 1.0] {
+                match d.distance_within(q, id, tau) {
+                    // An exact answer must be the operational distance,
+                    // bit for bit.
+                    lan_ged::GedBound::Exact(e) => assert_eq!(e.to_bits(), exact.to_bits()),
+                    // A bound must clear tau and stay admissible (lb is a
+                    // lower bound on the true GED, which the operational
+                    // metric upper-bounds).
+                    lan_ged::GedBound::AtLeast(lb) => {
+                        assert!(lb >= tau, "bound below tau: {lb} < {tau}");
+                        assert!(lb <= exact, "inadmissible bound: {lb} > {exact}");
+                    }
+                }
+            }
+            // tau beyond the operational distance can never be cleared by
+            // an admissible bound: the cascade must solve fully.
+            assert!(matches!(
+                d.distance_within(q, id, exact + 1.0),
+                lan_ged::GedBound::Exact(_)
+            ));
+        }
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! Both return an *optimal* assignment. They may return different optimal
 //! assignments when ties exist, which is why the two derived bipartite GED
 //! approximations can differ on the same pair of graphs.
+//!
+//! Each solver exists in two forms: the plain entry point, which allocates
+//! its working arrays, and a `*_with` form that reuses an [`AssignScratch`].
+//! The `*_with` forms reinitialize every buffer to exactly the values the
+//! allocating path starts from, so the two forms are bit-identical; routing
+//! calls them thousands of times per query through the per-thread
+//! [`crate::scratch::GedScratch`].
 
 /// A square cost matrix stored row-major.
 #[derive(Debug, Clone)]
@@ -33,6 +40,13 @@ impl CostMatrix {
     pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), n * n);
         CostMatrix { n, data }
+    }
+
+    /// Resets to an `n × n` zero matrix, reusing the existing allocation.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
     }
 
     /// Matrix dimension.
@@ -67,11 +81,55 @@ pub struct Assignment {
     pub cost: f64,
 }
 
+/// Reusable working arrays for [`hungarian_with`] and [`lapjv_with`].
+///
+/// Every buffer is fully reinitialized at the start of each solve, so a
+/// scratch carries no state between calls — only capacity.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    // Hungarian (1-based arrays of length n + 1).
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    // LAPJV.
+    y: Vec<usize>,
+    vv: Vec<f64>,
+    free: Vec<usize>,
+    next_free: Vec<usize>,
+    d: Vec<f64>,
+    pred: Vec<usize>,
+    done: Vec<bool>,
+    ready: Vec<usize>,
+}
+
+impl AssignScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears and refills `buf` with `len` copies of `val` (the scratch
+/// equivalent of `vec![val; len]`).
+#[inline]
+fn refill<T: Copy>(buf: &mut Vec<T>, len: usize, val: T) {
+    buf.clear();
+    buf.resize(len, val);
+}
+
 /// Kuhn–Munkres with potentials (the classic O(n³) "Hungarian algorithm").
 ///
 /// Follows the standard formulation with row potentials `u`, column
 /// potentials `v`, and one Dijkstra-like augmentation per row.
 pub fn hungarian(c: &CostMatrix) -> Assignment {
+    hungarian_with(c, &mut AssignScratch::new())
+}
+
+/// [`hungarian`] reusing the caller's scratch buffers. Bit-identical to the
+/// allocating form.
+pub fn hungarian_with(c: &CostMatrix, s: &mut AssignScratch) -> Assignment {
     let n = c.n();
     if n == 0 {
         return Assignment {
@@ -82,50 +140,50 @@ pub fn hungarian(c: &CostMatrix) -> Assignment {
     const INF: f64 = f64::INFINITY;
     // 1-based internally per the classic formulation; p[j] = row matched to
     // column j (0 = none).
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; n + 1];
-    let mut p = vec![0usize; n + 1];
-    let mut way = vec![0usize; n + 1];
+    refill(&mut s.u, n + 1, 0.0);
+    refill(&mut s.v, n + 1, 0.0);
+    refill(&mut s.p, n + 1, 0);
+    refill(&mut s.way, n + 1, 0);
 
     for i in 1..=n {
-        p[0] = i;
+        s.p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![INF; n + 1];
-        let mut used = vec![false; n + 1];
+        refill(&mut s.minv, n + 1, INF);
+        refill(&mut s.used, n + 1, false);
         loop {
-            used[j0] = true;
-            let i0 = p[j0];
+            s.used[j0] = true;
+            let i0 = s.p[j0];
             let mut delta = INF;
             let mut j1 = 0usize;
             for j in 1..=n {
-                if !used[j] {
-                    let cur = c.get(i0 - 1, j - 1) - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
+                if !s.used[j] {
+                    let cur = c.get(i0 - 1, j - 1) - s.u[i0] - s.v[j];
+                    if cur < s.minv[j] {
+                        s.minv[j] = cur;
+                        s.way[j] = j0;
                     }
-                    if minv[j] < delta {
-                        delta = minv[j];
+                    if s.minv[j] < delta {
+                        delta = s.minv[j];
                         j1 = j;
                     }
                 }
             }
             for j in 0..=n {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
+                if s.used[j] {
+                    s.u[s.p[j]] += delta;
+                    s.v[j] -= delta;
                 } else {
-                    minv[j] -= delta;
+                    s.minv[j] -= delta;
                 }
             }
             j0 = j1;
-            if p[j0] == 0 {
+            if s.p[j0] == 0 {
                 break;
             }
         }
         loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
+            let j1 = s.way[j0];
+            s.p[j0] = s.p[j1];
             j0 = j1;
             if j0 == 0 {
                 break;
@@ -135,8 +193,8 @@ pub fn hungarian(c: &CostMatrix) -> Assignment {
 
     let mut row_to_col = vec![0usize; n];
     for j in 1..=n {
-        if p[j] > 0 {
-            row_to_col[p[j] - 1] = j - 1;
+        if s.p[j] > 0 {
+            row_to_col[s.p[j] - 1] = j - 1;
         }
     }
     let cost = (0..n).map(|i| c.get(i, row_to_col[i])).sum();
@@ -149,6 +207,12 @@ pub fn hungarian(c: &CostMatrix) -> Assignment {
 /// search; the remaining free rows are matched with shortest augmenting
 /// paths over the reduced costs.
 pub fn lapjv(c: &CostMatrix) -> Assignment {
+    lapjv_with(c, &mut AssignScratch::new())
+}
+
+/// [`lapjv`] reusing the caller's scratch buffers. Bit-identical to the
+/// allocating form.
+pub fn lapjv_with(c: &CostMatrix, s: &mut AssignScratch) -> Assignment {
     let n = c.n();
     if n == 0 {
         return Assignment {
@@ -157,9 +221,11 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
         };
     }
     const INF: f64 = f64::INFINITY;
-    let mut x = vec![usize::MAX; n]; // row -> col
-    let mut y = vec![usize::MAX; n]; // col -> row
-    let mut v = vec![0.0f64; n]; // column potentials
+    // `x` (row -> col) is the returned assignment, so it is a fresh
+    // allocation either way; `y` and the potentials come from scratch.
+    let mut x = vec![usize::MAX; n];
+    refill(&mut s.y, n, usize::MAX); // col -> row
+    refill(&mut s.vv, n, 0.0); // column potentials
 
     // --- Column reduction (scan columns right-to-left). ---
     for j in (0..n).rev() {
@@ -172,28 +238,29 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
                 imin = i;
             }
         }
-        v[j] = min;
+        s.vv[j] = min;
         if x[imin] == usize::MAX {
             x[imin] = j;
-            y[j] = imin;
+            s.y[j] = imin;
         }
     }
 
     // --- Augmenting row reduction (two passes over unassigned rows). ---
-    let mut free: Vec<usize> = (0..n).filter(|&i| x[i] == usize::MAX).collect();
+    s.free.clear();
+    s.free.extend((0..n).filter(|&i| x[i] == usize::MAX));
     for _ in 0..2 {
         let mut k = 0usize;
-        let nfree = free.len();
-        let mut new_free: Vec<usize> = Vec::new();
+        let nfree = s.free.len();
+        s.next_free.clear();
         while k < nfree {
-            let i = free[k];
+            let i = s.free[k];
             k += 1;
             // Find the two smallest reduced costs in row i.
-            let mut u1 = c.get(i, 0) - v[0];
+            let mut u1 = c.get(i, 0) - s.vv[0];
             let mut u2 = INF;
             let mut j1 = 0usize;
             let mut j2 = usize::MAX;
-            for (j, &vj) in v.iter().enumerate().skip(1) {
+            for (j, &vj) in s.vv.iter().enumerate().skip(1) {
                 let h = c.get(i, j) - vj;
                 if h < u2 {
                     if h < u1 {
@@ -208,75 +275,73 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
                 }
             }
             let mut jbest = j1;
-            let i0 = y[jbest];
+            let i0 = s.y[jbest];
             if u1 < u2 {
-                v[jbest] -= u2 - u1;
+                s.vv[jbest] -= u2 - u1;
             } else if i0 != usize::MAX {
                 if j2 == usize::MAX {
                     // No alternative column; leave potentials as-is and fall
                     // through to the augmentation phase for this row.
-                    new_free.push(i);
+                    s.next_free.push(i);
                     continue;
                 }
                 jbest = j2;
             }
             x[i] = jbest;
-            let prev = y[jbest];
-            y[jbest] = i;
+            let prev = s.y[jbest];
+            s.y[jbest] = i;
             if prev != usize::MAX {
-                if u1 < u2 {
-                    // prev row becomes free and is retried in this pass.
-                    new_free.push(prev);
-                } else {
-                    new_free.push(prev);
-                }
+                // prev row becomes free and is retried in the next pass.
+                s.next_free.push(prev);
                 x[prev] = usize::MAX;
             }
         }
-        free = new_free;
-        if free.is_empty() {
+        std::mem::swap(&mut s.free, &mut s.next_free);
+        if s.free.is_empty() {
             break;
         }
     }
 
     // --- Augmentation: shortest augmenting path for each remaining row. ---
-    for &f in &free {
-        let mut d: Vec<f64> = (0..n).map(|j| c.get(f, j) - v[j]).collect();
-        let mut pred = vec![f; n];
-        let mut done = vec![false; n];
-        let mut ready: Vec<usize> = Vec::new();
+    for fi in 0..s.free.len() {
+        let f = s.free[fi];
+        s.d.clear();
+        s.d.extend((0..n).map(|j| c.get(f, j) - s.vv[j]));
+        refill(&mut s.pred, n, f);
+        refill(&mut s.done, n, false);
+        s.ready.clear();
         let endj;
         loop {
             // Find nearest unscanned column.
             let mut jmin = usize::MAX;
             let mut dmin = INF;
             for j in 0..n {
-                if !done[j] && d[j] < dmin {
-                    dmin = d[j];
+                if !s.done[j] && s.d[j] < dmin {
+                    dmin = s.d[j];
                     jmin = j;
                 }
             }
             debug_assert!(jmin != usize::MAX, "LAPJV: no reachable column");
-            done[jmin] = true;
-            ready.push(jmin);
-            if y[jmin] == usize::MAX {
+            s.done[jmin] = true;
+            s.ready.push(jmin);
+            if s.y[jmin] == usize::MAX {
                 endj = jmin;
                 // Update potentials for scanned columns.
-                for &j in &ready {
+                for &j in &s.ready {
                     if j != jmin {
-                        v[j] += d[j] - dmin;
+                        s.vv[j] += s.d[j] - dmin;
                     }
                 }
                 break;
             }
             // Relax through the row matched to jmin.
-            let i = y[jmin];
+            let i = s.y[jmin];
             for j in 0..n {
-                if !done[j] {
-                    let nd = dmin + c.get(i, j) - v[j] - (c.get(i, jmin) - v[jmin]);
-                    if nd < d[j] {
-                        d[j] = nd;
-                        pred[j] = i;
+                if !s.done[j] {
+                    let nd = dmin + c.get(i, j) - s.vv[j] - (c.get(i, jmin) - s.vv[jmin]);
+                    if nd < s.d[j] {
+                        s.d[j] = nd;
+                        s.pred[j] = i;
                     }
                 }
             }
@@ -284,8 +349,8 @@ pub fn lapjv(c: &CostMatrix) -> Assignment {
         // Augment along the alternating path.
         let mut j = endj;
         loop {
-            let i = pred[j];
-            y[j] = i;
+            let i = s.pred[j];
+            s.y[j] = i;
             std::mem::swap(&mut x[i], &mut j);
             if j == usize::MAX {
                 break;
@@ -426,5 +491,26 @@ mod tests {
         let c = CostMatrix::from_vec(3, vec![1.0; 9]);
         assert_eq!(hungarian(&c).cost, 3.0);
         assert_eq!(lapjv(&c).cost, 3.0);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical() {
+        // One long-lived scratch across a mixed-size workload must produce
+        // exactly the outputs of the allocating path — including assignment
+        // choice on ties, not just cost.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut scratch = AssignScratch::new();
+        for _ in 0..40 {
+            let n = rng.gen_range(1..=12);
+            let c = random_matrix(&mut rng, n);
+            let h_fresh = hungarian(&c);
+            let h_scr = hungarian_with(&c, &mut scratch);
+            assert_eq!(h_fresh, h_scr);
+            assert_eq!(h_fresh.cost.to_bits(), h_scr.cost.to_bits());
+            let j_fresh = lapjv(&c);
+            let j_scr = lapjv_with(&c, &mut scratch);
+            assert_eq!(j_fresh, j_scr);
+            assert_eq!(j_fresh.cost.to_bits(), j_scr.cost.to_bits());
+        }
     }
 }

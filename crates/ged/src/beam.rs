@@ -8,9 +8,9 @@
 //! bound on true GED. With `width = ∞` this degenerates to breadth-first
 //! exact search; with `width = 1` it is a greedy matcher.
 
-use crate::lower_bounds::label_multiset_lb;
+use crate::lower_bounds::masked_label_multiset_lb;
 use crate::mapping::{mapping_cost, NodeMapping, EPS};
-use lan_graph::{Graph, NodeId};
+use lan_graph::{Graph, Label, NodeId};
 
 #[derive(Clone)]
 struct Partial {
@@ -37,6 +37,28 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
     }
     let n1 = g1.node_count();
     let n2 = g2.node_count();
+
+    // Allocation-free heuristic inputs (same scheme as `crate::exact`):
+    // sorted label suffixes of g1, and g2's nodes sorted by label so each
+    // partial's remaining multiset streams through its `used` mask. The
+    // values are identical to the allocating label-multiset oracle.
+    let suffixes: Vec<Vec<Label>> = (0..=n1)
+        .map(|i| {
+            let mut s = g1.labels()[i..].to_vec();
+            s.sort_unstable();
+            s
+        })
+        .collect();
+    let mut g2_sorted: Vec<(Label, NodeId)> = g2
+        .labels()
+        .iter()
+        .enumerate()
+        .map(|(v, &l)| (l, v as NodeId))
+        .collect();
+    g2_sorted.sort_unstable();
+    let heuristic = |p: &Partial| -> f64 {
+        masked_label_multiset_lb(&suffixes[p.map.len()], &g2_sorted, |v| p.used[v as usize])
+    };
 
     let mut frontier = vec![Partial {
         map: Vec::new(),
@@ -69,7 +91,7 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
                 q.map.push(v);
                 q.used[v as usize] = true;
                 q.g = g;
-                q.f = g + heuristic(g1, g2, &q);
+                q.f = g + heuristic(&q);
                 next.push(q);
             }
             // u -> EPS.
@@ -83,7 +105,7 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
                 let mut q = p.clone();
                 q.map.push(EPS);
                 q.g = g;
-                q.f = g + heuristic(g1, g2, &q);
+                q.f = g + heuristic(&q);
                 next.push(q);
             }
         }
@@ -107,16 +129,6 @@ pub fn beam_ged_with_mapping(g1: &Graph, g2: &Graph, width: usize) -> (f64, Node
 /// Beam-search approximate GED (distance only).
 pub fn beam_ged(g1: &Graph, g2: &Graph, width: usize) -> f64 {
     beam_ged_with_mapping(g1, g2, width).0
-}
-
-fn heuristic(g1: &Graph, g2: &Graph, p: &Partial) -> f64 {
-    let i = p.map.len();
-    let rem1 = &g1.labels()[i..];
-    let rem2: Vec<_> = (0..g2.node_count())
-        .filter(|&v| !p.used[v])
-        .map(|v| g2.label(v as NodeId))
-        .collect();
-    label_multiset_lb(rem1, &rem2)
 }
 
 #[cfg(test)]

@@ -14,8 +14,10 @@
 //! upper bounds, which is why the ground-truth protocol takes the best of
 //! both (plus beam search).
 
-use crate::assignment::{hungarian, lapjv, CostMatrix};
+use crate::assignment::{hungarian_with, lapjv_with, CostMatrix};
+use crate::lower_bounds::sorted_label_multiset_lb;
 use crate::mapping::{mapping_cost, NodeMapping, EPS};
+use crate::scratch::{with_scratch, GedScratch};
 use lan_graph::{Graph, NodeId};
 
 /// Which LSAP solver drives the approximation.
@@ -41,14 +43,29 @@ pub enum Solver {
 ///   for unlabeled edges),
 /// * `del(u)` = 1 + deg(u), `ins(v)` = 1 + deg(v).
 pub fn rb_cost_matrix(g1: &Graph, g2: &Graph) -> CostMatrix {
+    let mut s = GedScratch::new();
+    rb_cost_matrix_into(g1, g2, &mut s);
+    s.cost
+}
+
+/// [`rb_cost_matrix`] built into `s.cost`, reusing the scratch's matrix and
+/// neighbor-label buffers. Bit-identical to the allocating form.
+pub fn rb_cost_matrix_into(g1: &Graph, g2: &Graph, s: &mut GedScratch) {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
     let n = n1 + n2;
     // Forbidden cells use a large finite value rather than ∞ so solver
     // arithmetic stays finite.
     let forbid = (n as f64 + 1.0) * (g1.edge_count() + g2.edge_count() + n) as f64 + 1e6;
-    let mut c = CostMatrix::zeros(n);
+    s.cost.reset(n);
     for i in 0..n {
+        if i < n1 {
+            // Sorted neighbor labels of u, shared across the row.
+            let u = i as NodeId;
+            s.nu.clear();
+            s.nu.extend(g1.neighbors(u).iter().map(|&x| g1.label(x)));
+            s.nu.sort_unstable();
+        }
         for j in 0..n {
             let v = match (i < n1, j < n2) {
                 (true, true) => {
@@ -61,9 +78,10 @@ pub fn rb_cost_matrix(g1: &Graph, g2: &Graph) -> CostMatrix {
                     // neighbor-label multisets lower-bounds the local edge
                     // reassignment cost and is far more discriminative than
                     // a plain degree difference on uniform-label chains.
-                    let nu: Vec<_> = g1.neighbors(u).iter().map(|&x| g1.label(x)).collect();
-                    let nw: Vec<_> = g2.neighbors(w).iter().map(|&x| g2.label(x)).collect();
-                    label + crate::lower_bounds::label_multiset_lb(&nu, &nw)
+                    s.nw.clear();
+                    s.nw.extend(g2.neighbors(w).iter().map(|&x| g2.label(x)));
+                    s.nw.sort_unstable();
+                    label + sorted_label_multiset_lb(&s.nu, &s.nw)
                 }
                 (true, false) => {
                     if j - n2 == i {
@@ -81,16 +99,26 @@ pub fn rb_cost_matrix(g1: &Graph, g2: &Graph) -> CostMatrix {
                 }
                 (false, false) => 0.0,
             };
-            c.set(i, j, v);
+            s.cost.set(i, j, v);
         }
     }
-    c
 }
 
 /// Bipartite approximate GED: returns the exact cost of the edit path
 /// derived from the optimal assignment (an upper bound on true GED),
 /// together with the mapping.
 pub fn bipartite_ged_with_mapping(g1: &Graph, g2: &Graph, solver: Solver) -> (f64, NodeMapping) {
+    with_scratch(|s| bipartite_ged_scratch(g1, g2, solver, s))
+}
+
+/// [`bipartite_ged_with_mapping`] on an explicit scratch (the entry point
+/// routes through the per-thread one). Bit-identical to a fresh scratch.
+pub fn bipartite_ged_scratch(
+    g1: &Graph,
+    g2: &Graph,
+    solver: Solver,
+    s: &mut GedScratch,
+) -> (f64, NodeMapping) {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
     if n1 == 0 && n2 == 0 {
@@ -103,10 +131,10 @@ pub fn bipartite_ged_with_mapping(g1: &Graph, g2: &Graph, solver: Solver) -> (f6
     if g1 == g2 {
         return (0.0, NodeMapping::identity(n1));
     }
-    let c = rb_cost_matrix(g1, g2);
+    rb_cost_matrix_into(g1, g2, s);
     let a = match solver {
-        Solver::Hungarian => hungarian(&c),
-        Solver::Vj => lapjv(&c),
+        Solver::Hungarian => hungarian_with(&s.cost, &mut s.assign),
+        Solver::Vj => lapjv_with(&s.cost, &mut s.assign),
     };
     let mut map = vec![EPS; n1];
     for (u, &j) in a.row_to_col.iter().take(n1).enumerate() {
@@ -131,7 +159,7 @@ mod tests {
     use lan_graph::generators::{erdos_renyi, molecule_like};
     use lan_graph::Graph;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn identical_graphs_zero() {
@@ -214,6 +242,36 @@ mod tests {
             let (d, m) = bipartite_ged_with_mapping(&g1, &g2, Solver::Hungarian);
             assert!(m.is_injective());
             assert_eq!(mapping_cost(&g1, &g2, &m), d);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical() {
+        // One scratch across a mixed workload: cost matrices, mappings, and
+        // distances must match the fresh-allocation path bit for bit.
+        let mut rng = StdRng::seed_from_u64(36);
+        let mut s = GedScratch::new();
+        for _ in 0..25 {
+            let n1 = 4 + rng.gen_range(0..10);
+            let n2 = 4 + rng.gen_range(0..10);
+            let g1 = molecule_like(&mut rng, n1, 2, 4, 5);
+            let g2 = molecule_like(&mut rng, n2, 2, 4, 5);
+            let fresh = rb_cost_matrix(&g1, &g2);
+            rb_cost_matrix_into(&g1, &g2, &mut s);
+            let n = fresh.n();
+            assert_eq!(s.cost.n(), n);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(fresh.get(i, j).to_bits(), s.cost.get(i, j).to_bits());
+                }
+            }
+            for solver in [Solver::Hungarian, Solver::Vj] {
+                let (d_fresh, m_fresh) =
+                    bipartite_ged_scratch(&g1, &g2, solver, &mut GedScratch::new());
+                let (d_scr, m_scr) = bipartite_ged_scratch(&g1, &g2, solver, &mut s);
+                assert_eq!(d_fresh.to_bits(), d_scr.to_bits());
+                assert_eq!(m_fresh, m_scr);
+            }
         }
     }
 

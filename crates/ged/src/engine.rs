@@ -1,9 +1,26 @@
-//! Method selection facade and the paper's ground-truth protocol.
+//! Method selection facade, the threshold-gated evaluation cascade, and the
+//! paper's ground-truth protocol.
 
 use crate::beam::beam_ged;
 use crate::bipartite::{bipartite_ged, Solver};
-use crate::exact::{exact_ged, ExactLimits, ExactOutcome};
+use crate::exact::{exact_ged, exact_ged_within, ExactLimits, ExactOutcome, ExactWithin};
+use crate::lower_bounds::{label_degree_lb, label_size_lb};
 use lan_graph::Graph;
+use lan_obs::{names, Counter};
+use std::sync::OnceLock;
+
+/// Pre-resolved cascade counters (resolving a name takes the registry
+/// lock; these run once per distance evaluation, so resolve once).
+fn counters() -> &'static (&'static Counter, &'static Counter, &'static Counter) {
+    static C: OnceLock<(&'static Counter, &'static Counter, &'static Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        (
+            lan_obs::counter(names::GED_FULL_EVALS),
+            lan_obs::counter(names::GED_LB_PRUNE),
+            lan_obs::counter(names::GED_EARLY_ABORT),
+        )
+    })
+}
 
 /// A GED computation method.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +43,7 @@ pub enum GedMethod {
 /// Returns `None` only for `Exact` on timeout; all approximate methods are
 /// total.
 pub fn ged(g1: &Graph, g2: &Graph, method: &GedMethod) -> Option<f64> {
+    counters().0.inc(); // ged.full_evals: a full solver run, no gate
     match method {
         GedMethod::Exact { timeout_ms } => {
             let limits = ExactLimits {
@@ -43,6 +61,88 @@ pub fn ged(g1: &Graph, g2: &Graph, method: &GedMethod) -> Option<f64> {
             let b = beam_ged(g1, g2, *beam_width);
             Some(h.min(v).min(b))
         }
+    }
+}
+
+/// Outcome of a threshold-gated GED evaluation ([`ged_within`]).
+///
+/// `AtLeast(lb)` certifies `lb <= d` for the distance `d` the *selected
+/// method* would report (every cascade bound is `<=` the exact GED, which
+/// is `<=` every approximation's value), with `lb >= tau` — so a caller
+/// that only cares whether `d < tau` can treat it as a verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GedBound {
+    /// The method's distance, computed in full.
+    Exact(f64),
+    /// The distance is provably at least this value (`>= tau`).
+    AtLeast(f64),
+}
+
+impl GedBound {
+    /// The certified minimum of the distance (the value itself if exact).
+    pub fn min_value(&self) -> f64 {
+        match self {
+            GedBound::Exact(d) => *d,
+            GedBound::AtLeast(lb) => *lb,
+        }
+    }
+}
+
+/// Threshold-gated GED: resolves whether `d(g1, g2) < tau` without always
+/// paying for a full evaluation.
+///
+/// The cascade, cheapest first:
+///
+/// 1. **label/size bound** ([`label_size_lb`], `O(n)` merge walk over
+///    precomputed signatures);
+/// 2. **degree-sequence bound** ([`label_degree_lb`], `O(n)` over the
+///    signatures' sorted degree sequences);
+/// 3. the selected method. For [`GedMethod::Exact`] this is the
+///    branch-and-bound A\* ([`exact_ged_within`]) which aborts the whole
+///    search once every branch reaches `g + h >= tau`; other methods run in
+///    full (their value is still `>=` any tier-1/2 bound, so the gate
+///    remains sound).
+///
+/// Returns `None` only for `Exact` on timeout, mirroring [`ged`]. With a
+/// non-finite `tau` this is exactly `ged` (no gating).
+///
+/// Counters: `ged.lb_prune` (tiers 1–2 settled it), `ged.early_abort`
+/// (A\* aborted on the threshold), `ged.full_evals` (a solver ran to
+/// completion).
+pub fn ged_within(g1: &Graph, g2: &Graph, tau: f64, method: &GedMethod) -> Option<GedBound> {
+    if !tau.is_finite() {
+        return ged(g1, g2, method).map(GedBound::Exact);
+    }
+    let (full, lb_prune, early_abort) = *counters();
+    let lb1 = label_size_lb(g1, g2);
+    if lb1 >= tau {
+        lb_prune.inc();
+        return Some(GedBound::AtLeast(lb1));
+    }
+    let lb2 = label_degree_lb(g1, g2);
+    if lb2 >= tau {
+        lb_prune.inc();
+        return Some(GedBound::AtLeast(lb2));
+    }
+    match method {
+        GedMethod::Exact { timeout_ms } => {
+            let limits = ExactLimits {
+                timeout_ms: *timeout_ms,
+                ..ExactLimits::default()
+            };
+            match exact_ged_within(g1, g2, &limits, tau) {
+                ExactWithin::Optimal { distance, .. } => {
+                    full.inc();
+                    Some(GedBound::Exact(distance))
+                }
+                ExactWithin::AtLeast(lb) => {
+                    early_abort.inc();
+                    Some(GedBound::AtLeast(lb.max(lb2)))
+                }
+                ExactWithin::TimedOut => None,
+            }
+        }
+        m => ged(g1, g2, m).map(GedBound::Exact),
     }
 }
 
@@ -95,6 +195,7 @@ pub fn ground_truth_ged(g1: &Graph, g2: &Graph, cfg: &GroundTruthConfig) -> (f64
 mod tests {
     use super::*;
     use lan_graph::generators::{erdos_renyi, molecule_like};
+    use lan_graph::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -149,6 +250,107 @@ mod tests {
         let (d, exact) = ground_truth_ged(&g1, &g2, &GroundTruthConfig::default());
         assert!(!exact);
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_and_approximations() {
+        // lower bounds <= exact <= Hungarian / VJ / Beam, on random pairs.
+        use crate::lower_bounds::{label_degree_lb, label_size_lb};
+        let mut rng = StdRng::seed_from_u64(56);
+        for _ in 0..40 {
+            let g1 = erdos_renyi(&mut rng, 6, 6, 3);
+            let g2 = erdos_renyi(&mut rng, 5, 6, 3);
+            let exact = ged(&g1, &g2, &GedMethod::Exact { timeout_ms: 10_000 }).unwrap();
+            for lb in [label_size_lb(&g1, &g2), label_degree_lb(&g1, &g2)] {
+                assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact}");
+            }
+            for m in [
+                GedMethod::Hungarian,
+                GedMethod::Vj,
+                GedMethod::Beam { width: 8 },
+            ] {
+                let ub = ged(&g1, &g2, &m).unwrap();
+                assert!(ub + 1e-9 >= exact, "{m:?} {ub} < exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn ged_within_agrees_with_full_ged() {
+        // Whenever the method's distance is < tau, the gate must return the
+        // identical Exact value; otherwise a certified bound in
+        // [tau, d_method].
+        let mut rng = StdRng::seed_from_u64(57);
+        for _ in 0..25 {
+            let g1 = erdos_renyi(&mut rng, 6, 6, 4);
+            let g2 = erdos_renyi(&mut rng, 6, 7, 4);
+            for m in [
+                GedMethod::Exact { timeout_ms: 10_000 },
+                GedMethod::Hungarian,
+                GedMethod::Vj,
+                GedMethod::Beam { width: 4 },
+                GedMethod::BestOfThree { beam_width: 4 },
+            ] {
+                let d = ged(&g1, &g2, &m).unwrap();
+                for tau in [0.5, d * 0.5, d, d + 0.5, d + 4.0, f64::INFINITY] {
+                    match ged_within(&g1, &g2, tau, &m).unwrap() {
+                        GedBound::Exact(got) => {
+                            assert_eq!(got.to_bits(), d.to_bits(), "{m:?} tau={tau}");
+                        }
+                        GedBound::AtLeast(lb) => {
+                            assert!(tau.is_finite());
+                            assert!(lb >= tau, "{m:?}: lb {lb} < tau {tau}");
+                            assert!(lb <= d + 1e-9, "{m:?}: lb {lb} > d {d}");
+                            // Pruning is only sound when d might be >= tau;
+                            // since lb <= d and lb >= tau, d >= tau holds.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ged_within_counts_cascade_tiers() {
+        let g1 = molecule_like(&mut StdRng::seed_from_u64(58), 10, 2, 4, 8);
+        let g2 = molecule_like(&mut StdRng::seed_from_u64(59), 20, 2, 4, 8);
+        if !lan_obs::enabled() {
+            return;
+        }
+        let before = lan_obs::snapshot();
+        // Node-count gap of 10 => label/size bound >= 10 >= tau = 1.
+        let out = ged_within(&g1, &g2, 1.0, &GedMethod::Hungarian).unwrap();
+        assert!(matches!(out, GedBound::AtLeast(_)));
+        let d = lan_obs::snapshot().diff(&before);
+        assert_eq!(d.counter(lan_obs::names::GED_LB_PRUNE), 1);
+        assert_eq!(d.counter(lan_obs::names::GED_FULL_EVALS), 0);
+
+        let before = lan_obs::snapshot();
+        let out = ged_within(&g1, &g2, 1e9, &GedMethod::Hungarian).unwrap();
+        assert!(matches!(out, GedBound::Exact(_)));
+        let d = lan_obs::snapshot().diff(&before);
+        assert_eq!(d.counter(lan_obs::names::GED_FULL_EVALS), 1);
+    }
+
+    #[test]
+    fn ged_within_exact_early_abort_counted() {
+        if !lan_obs::enabled() {
+            return;
+        }
+        let (g, q) = (
+            Graph::from_edges(vec![0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+            Graph::from_edges(vec![0, 1, 0], &[(0, 1), (1, 2)]).unwrap(),
+        );
+        // d = 5; lb tiers are < 4, so tau = 4 reaches the A* which must
+        // abort on the threshold.
+        let before = lan_obs::snapshot();
+        let out = ged_within(&g, &q, 4.0, &GedMethod::Exact { timeout_ms: 10_000 }).unwrap();
+        match out {
+            GedBound::AtLeast(lb) => assert!((4.0..=5.0).contains(&lb)),
+            other => panic!("expected AtLeast, got {other:?}"),
+        }
+        let d = lan_obs::snapshot().diff(&before);
+        assert_eq!(d.counter(lan_obs::names::GED_EARLY_ABORT), 1);
     }
 
     #[test]

@@ -7,13 +7,26 @@
 //! unassigned labels + remaining-edge-count difference), so the first leaf
 //! popped from the open list is an optimal edit path.
 //!
+//! The heuristic is allocation-free: the sorted label suffixes of `g1` are
+//! precomputed once per search, and the remaining `g2` multiset is streamed
+//! from a label-sorted node list filtered by the `used` bitmask
+//! ([`crate::lower_bounds::masked_label_multiset_lb`]) — the values are
+//! identical to the allocating oracle, so the search order is unchanged.
+//!
 //! GED is NP-hard; the search accepts a deadline and an expansion cap and
 //! reports [`ExactOutcome::TimedOut`] when exceeded — the ground-truth
-//! protocol (paper §VII) then falls back to the approximations.
+//! protocol (paper §VII) then falls back to the approximations. The
+//! deadline is only polled every 256 expansions, keeping timing syscalls
+//! out of the expansion loop.
+//!
+//! [`exact_ged_within`] is the threshold-gated variant: branches whose
+//! `g + h` reaches `tau` are pruned, and if every branch is pruned the
+//! search reports a certified lower bound instead of a distance — the
+//! branch-and-bound tier of the `ged_within` cascade.
 
-use crate::lower_bounds::label_multiset_lb;
+use crate::lower_bounds::masked_label_multiset_lb;
 use crate::mapping::{mapping_cost, NodeMapping, EPS};
-use lan_graph::{Graph, NodeId};
+use lan_graph::{Graph, Label, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -35,6 +48,19 @@ impl ExactOutcome {
             ExactOutcome::TimedOut => None,
         }
     }
+}
+
+/// Result of a threshold-gated exact GED attempt ([`exact_ged_within`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactWithin {
+    /// The true distance is below the threshold; this is it, with one
+    /// optimal mapping.
+    Optimal { distance: f64, mapping: NodeMapping },
+    /// Every branch reached `g + h >= tau`: the true distance is at least
+    /// this value (which is `>= tau`).
+    AtLeast(f64),
+    /// Deadline or expansion cap hit before a verdict.
+    TimedOut,
 }
 
 /// Limits for the exact search.
@@ -98,14 +124,29 @@ impl Ord for HeapItem {
 
 /// Exact GED between `g1` and `g2` under the unit cost model.
 ///
-/// Graphs with more than 64 nodes on the `g2` side are rejected as
+/// Graphs with more than 64 nodes on the smaller side are rejected as
 /// [`ExactOutcome::TimedOut`] (the bitmask state would overflow; the paper's
 /// protocol would time such pairs out anyway).
 pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
+    match exact_ged_within(g1, g2, limits, f64::INFINITY) {
+        ExactWithin::Optimal { distance, mapping } => ExactOutcome::Optimal { distance, mapping },
+        // Unreachable with an infinite threshold; defensive mapping only.
+        ExactWithin::AtLeast(_) => ExactOutcome::TimedOut,
+        ExactWithin::TimedOut => ExactOutcome::TimedOut,
+    }
+}
+
+/// Exact GED, aborting as soon as the distance is provably `>= tau`.
+///
+/// Identical search to [`exact_ged`] except that branches with
+/// `g + h >= tau` are never enqueued; if the open list drains, the minimum
+/// pruned `f` is a certified lower bound on the true distance (every leaf
+/// descends from some pruned branch, and `h` is admissible).
+pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) -> ExactWithin {
     // Map from the smaller graph for a shallower tree; GED is symmetric.
     if g1.node_count() > g2.node_count() {
-        return match exact_ged(g2, g1, limits) {
-            ExactOutcome::Optimal { distance, mapping } => {
+        return match exact_ged_within(g2, g1, limits, tau) {
+            ExactWithin::Optimal { distance, mapping } => {
                 // Invert the mapping direction.
                 let mut inv = vec![EPS; g1.node_count()];
                 for (u, &v) in mapping.map.iter().enumerate() {
@@ -113,7 +154,7 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                         inv[v as usize] = u as NodeId;
                     }
                 }
-                ExactOutcome::Optimal {
+                ExactWithin::Optimal {
                     distance,
                     mapping: NodeMapping { map: inv },
                 }
@@ -124,7 +165,7 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
     if n2 > 64 {
-        return ExactOutcome::TimedOut;
+        return ExactWithin::TimedOut;
     }
     let deadline = Instant::now() + std::time::Duration::from_millis(limits.timeout_ms);
 
@@ -136,33 +177,63 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
     }
     let e2 = g2.edge_count() as u32;
 
-    // Suffix label histograms of g1 are implicit: remaining labels are
-    // g1.labels()[i..]. g2 remaining labels derived from the used mask.
-    let g2_labels = g2.labels();
+    // Precomputed heuristic inputs: sorted label suffixes of g1 (suffix i =
+    // labels of the unassigned nodes i..), and g2's nodes sorted by label so
+    // the remaining multiset streams from the used mask without allocating.
+    let mut suffixes: Vec<Vec<Label>> = Vec::with_capacity(n1 + 1);
+    for i in 0..=n1 {
+        let mut s = g1.labels()[i..].to_vec();
+        s.sort_unstable();
+        suffixes.push(s);
+    }
+    let mut g2_sorted: Vec<(Label, NodeId)> = g2
+        .labels()
+        .iter()
+        .enumerate()
+        .map(|(v, &l)| (l, v as NodeId))
+        .collect();
+    g2_sorted.sort_unstable();
+    let heuristic = |i: usize, used: u64, fixed2: u32| -> f64 {
+        // Node part: label multiset LB between remaining g1 labels and
+        // unused g2 labels; edge part: remaining edge-count difference.
+        let node_lb =
+            masked_label_multiset_lb(&suffixes[i], &g2_sorted, |v| used & (1u64 << v) != 0);
+        let re1 = r1[i] as f64;
+        let re2 = (e2 - fixed2) as f64;
+        node_lb + (re1 - re2).abs()
+    };
 
-    let h0 = heuristic(g1, g2, 0, 0, &r1, e2, 0);
+    // Minimum f over branches pruned by tau — a lower bound on every leaf
+    // below them, hence on the distance if the open list drains.
+    let mut min_pruned = f64::INFINITY;
+
+    let h0 = heuristic(0, 0, 0);
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
     let mut seq = 0u64;
-    heap.push(HeapItem {
-        f: h0,
-        depth: 0,
-        seq,
-        state: State {
-            map: Vec::new(),
-            used: 0,
-            g: 0.0,
-            fixed2: 0,
-        },
-    });
+    if h0 < tau {
+        heap.push(HeapItem {
+            f: h0,
+            depth: 0,
+            seq,
+            state: State {
+                map: Vec::new(),
+                used: 0,
+                g: 0.0,
+                fixed2: 0,
+            },
+        });
+    } else {
+        min_pruned = h0;
+    }
 
     let mut expansions = 0usize;
     while let Some(HeapItem { state, .. }) = heap.pop() {
         expansions += 1;
         if expansions.is_multiple_of(256) && Instant::now() > deadline {
-            return ExactOutcome::TimedOut;
+            return ExactWithin::TimedOut;
         }
         if expansions > limits.max_expansions {
-            return ExactOutcome::TimedOut;
+            return ExactWithin::TimedOut;
         }
         let i = state.map.len();
         if i == n1 {
@@ -173,7 +244,7 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
             debug_assert!(
                 (terminal_cost(&state.g, n2, state.used, e2, state.fixed2) - distance).abs() < 1e-9
             );
-            return ExactOutcome::Optimal { distance, mapping };
+            return ExactWithin::Optimal { distance, mapping };
         }
         let u = i as NodeId;
         // Child: u -> v for each unused v.
@@ -204,14 +275,18 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                 }
             }
 
+            let used = state.used | (1u64 << v);
+            let h = heuristic(i + 1, used, fixed2);
+            let f = g + h;
+            if f >= tau {
+                min_pruned = min_pruned.min(f);
+                continue;
+            }
             let mut map = state.map.clone();
             map.push(v);
-            let used = state.used | (1u64 << v);
-            let h = heuristic(g1, g2, i + 1, used, &r1, e2, fixed2);
-            let _ = g2_labels;
             seq += 1;
             heap.push(HeapItem {
-                f: g + h,
+                f,
                 depth: i + 1,
                 seq,
                 state: State {
@@ -230,24 +305,33 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
                     g += 1.0;
                 }
             }
-            let mut map = state.map.clone();
-            map.push(EPS);
-            let h = heuristic(g1, g2, i + 1, state.used, &r1, e2, state.fixed2);
-            seq += 1;
-            heap.push(HeapItem {
-                f: g + h,
-                depth: i + 1,
-                seq,
-                state: State {
-                    map,
-                    used: state.used,
-                    g,
-                    fixed2: state.fixed2,
-                },
-            });
+            let h = heuristic(i + 1, state.used, state.fixed2);
+            let f = g + h;
+            if f >= tau {
+                min_pruned = min_pruned.min(f);
+            } else {
+                let mut map = state.map.clone();
+                map.push(EPS);
+                seq += 1;
+                heap.push(HeapItem {
+                    f,
+                    depth: i + 1,
+                    seq,
+                    state: State {
+                        map,
+                        used: state.used,
+                        g,
+                        fixed2: state.fixed2,
+                    },
+                });
+            }
         }
     }
-    unreachable!("A* search space is finite and always reaches a leaf");
+    // The open list drained: every branch hit the threshold. With an
+    // infinite tau this is unreachable (the ε-child is always enqueued, so
+    // some leaf is reached first).
+    debug_assert!(min_pruned >= tau);
+    ExactWithin::AtLeast(min_pruned)
 }
 
 /// Terminal completion cost: unused g2 nodes inserted, plus g2 edges not yet
@@ -255,22 +339,6 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
 fn terminal_cost(g: &f64, n2: usize, used: u64, e2: u32, fixed2: u32) -> f64 {
     let unused = n2 as u32 - used.count_ones();
     g + unused as f64 + (e2 - fixed2) as f64
-}
-
-/// Admissible heuristic for a prefix of length `i`.
-fn heuristic(g1: &Graph, g2: &Graph, i: usize, used: u64, r1: &[u32], e2: u32, fixed2: u32) -> f64 {
-    // Node part: label multiset LB between remaining g1 labels and unused g2
-    // labels.
-    let rem1 = &g1.labels()[i..];
-    let rem2: Vec<_> = (0..g2.node_count())
-        .filter(|&v| used & (1u64 << v) == 0)
-        .map(|v| g2.label(v as NodeId))
-        .collect();
-    let node_lb = label_multiset_lb(rem1, &rem2);
-    // Edge part: remaining g1 edges vs remaining g2 edges.
-    let re1 = r1[i] as f64;
-    let re2 = (e2 - fixed2) as f64;
-    node_lb + (re1 - re2).abs()
 }
 
 /// Brute-force exact GED by exhaustive mapping enumeration. Exponential —
@@ -316,7 +384,7 @@ mod tests {
     use lan_graph::perturb::perturb;
     use lan_graph::Graph;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn fig2() -> (Graph, Graph) {
         let g = Graph::from_edges(vec![0, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]).unwrap();
@@ -451,17 +519,117 @@ mod tests {
     }
 
     #[test]
+    fn batched_deadline_check_still_fires() {
+        // The deadline is only polled every 256 expansions; on an instance
+        // whose search space dwarfs that stride, an already-expired deadline
+        // must still be detected. C24 vs two disjoint C12s: uniform labels
+        // and all-2 degrees make every cheap bound zero, and the true
+        // distance is positive, so no leaf is reachable within 256
+        // expansions — the outcome is deterministically TimedOut.
+        let c24: Vec<(u32, u32)> = (0..24).map(|i| (i, (i + 1) % 24)).collect();
+        let g1 = Graph::from_edges(vec![0; 24], &c24).unwrap();
+        let two_c12: Vec<(u32, u32)> = (0..12)
+            .map(|i| (i, (i + 1) % 12))
+            .chain((0..12).map(|i| (12 + i, 12 + (i + 1) % 12)))
+            .collect();
+        let g2 = Graph::from_edges(vec![0; 24], &two_c12).unwrap();
+        let out = exact_ged(
+            &g1,
+            &g2,
+            &ExactLimits {
+                timeout_ms: 0,
+                max_expansions: usize::MAX,
+            },
+        );
+        assert_eq!(out, ExactOutcome::TimedOut);
+    }
+
+    #[test]
     fn returned_mapping_cost_matches_distance() {
         let mut rng = StdRng::seed_from_u64(26);
         for _ in 0..20 {
             let g1 = erdos_renyi(&mut rng, 5, 4, 3);
             let g2 = erdos_renyi(&mut rng, 4, 4, 3);
-            if let ExactOutcome::Optimal { distance, mapping } =
-                exact_ged(&g1, &g2, &ExactLimits::default())
+            if let ExactWithin::Optimal { distance, mapping } =
+                exact_ged_within(&g1, &g2, &ExactLimits::default(), f64::INFINITY)
             {
                 assert_eq!(mapping_cost(&g1, &g2, &mapping), distance);
             } else {
                 panic!("tiny instance timed out");
+            }
+        }
+    }
+
+    #[test]
+    fn within_agrees_with_full_search() {
+        // For every tau: result below tau => identical Optimal; otherwise a
+        // certified AtLeast(lb) with tau <= lb <= true distance.
+        let mut rng = StdRng::seed_from_u64(27);
+        for _ in 0..30 {
+            let g1 = erdos_renyi(&mut rng, 5, 5, 3);
+            let g2 = erdos_renyi(&mut rng, 5, 4, 3);
+            let d = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
+            for tau_i in 0..=(d as i64 + 2) {
+                let tau = tau_i as f64;
+                match exact_ged_within(&g1, &g2, &ExactLimits::default(), tau) {
+                    ExactWithin::Optimal { distance, .. } => {
+                        assert!(distance < tau);
+                        assert_eq!(distance, d);
+                    }
+                    ExactWithin::AtLeast(lb) => {
+                        assert!(d >= tau, "pruned although d={d} < tau={tau}");
+                        assert!(lb >= tau && lb <= d + 1e-9, "lb={lb} d={d} tau={tau}");
+                    }
+                    ExactWithin::TimedOut => panic!("tiny instance timed out"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_prunes_equal_distance() {
+        // tau == d must abort (the contract is strict: Optimal only when
+        // d < tau).
+        let (g, q) = fig2();
+        match exact_ged_within(&g, &q, &ExactLimits::default(), 5.0) {
+            ExactWithin::AtLeast(lb) => assert!(lb >= 5.0),
+            other => panic!("expected AtLeast, got {other:?}"),
+        }
+        let mut rng = StdRng::seed_from_u64(28);
+        let g1 = erdos_renyi(&mut rng, 5, 5, 3);
+        assert_eq!(
+            exact_ged_within(&g1, &g1, &ExactLimits::default(), 1.0),
+            ExactWithin::Optimal {
+                distance: 0.0,
+                mapping: NodeMapping::identity(5)
+            }
+        );
+    }
+
+    #[test]
+    fn within_symmetry_swap_handles_bounds() {
+        // g1 larger than g2 exercises the swap path for AtLeast results.
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..10 {
+            let g1 = erdos_renyi(&mut rng, 6, 7, 3);
+            let g2 = erdos_renyi(&mut rng, 4, 3, 3);
+            let d = exact_ged(&g1, &g2, &ExactLimits::default())
+                .distance()
+                .unwrap();
+            let tau = rng.gen_range(1..10) as f64;
+            match exact_ged_within(&g1, &g2, &ExactLimits::default(), tau) {
+                ExactWithin::Optimal { distance, mapping } => {
+                    assert_eq!(distance, d);
+                    assert!(distance < tau);
+                    assert_eq!(mapping.map.len(), g1.node_count());
+                    assert_eq!(mapping_cost(&g1, &g2, &mapping), distance);
+                }
+                ExactWithin::AtLeast(lb) => {
+                    assert!(lb >= tau && lb <= d + 1e-9);
+                }
+                ExactWithin::TimedOut => panic!("tiny instance timed out"),
             }
         }
     }

@@ -40,6 +40,8 @@ pub mod exact;
 pub mod lower_bounds;
 pub mod mapping;
 pub mod mcs;
+pub mod scratch;
 
-pub use engine::{ged, ground_truth_ged, GedMethod, GroundTruthConfig};
+pub use engine::{ged, ged_within, ground_truth_ged, GedBound, GedMethod, GroundTruthConfig};
 pub use mapping::{mapping_cost, NodeMapping};
+pub use scratch::GedScratch;

@@ -46,16 +46,72 @@ pub struct Graph {
     /// `adj[u]` holds the sorted neighbor list of `u`.
     adj: Vec<Vec<NodeId>>,
     edge_count: usize,
+    /// Precomputed isomorphism-invariant signature; see [`GraphSignature`].
+    sig: GraphSignature,
+}
+
+/// Immutable per-graph signature computed once at construction.
+///
+/// GED lower bounds (label multiset, degree sequence, size) are evaluated
+/// once per A\* expansion and once per routing candidate, so they must not
+/// sort or allocate. The signature pre-sorts everything they need:
+///
+/// * `sorted_labels` — the node label multiset in ascending order, so the
+///   label-multiset bound is a merge walk over two pre-sorted slices;
+/// * `degree_sequence` — node degrees in *descending* order, for the
+///   degree-sequence edit bound.
+///
+/// The signature is a pure function of the graph's content and is invariant
+/// under node permutation, so the derived `PartialEq`/`Eq`/`Hash` on
+/// [`Graph`] remain consistent.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct GraphSignature {
+    sorted_labels: Vec<Label>,
+    degree_sequence: Vec<u32>,
+}
+
+impl GraphSignature {
+    fn compute(labels: &[Label], adj: &[Vec<NodeId>]) -> Self {
+        let mut sorted_labels = labels.to_vec();
+        sorted_labels.sort_unstable();
+        let mut degree_sequence: Vec<u32> = adj.iter().map(|ns| ns.len() as u32).collect();
+        degree_sequence.sort_unstable_by(|a, b| b.cmp(a));
+        GraphSignature {
+            sorted_labels,
+            degree_sequence,
+        }
+    }
+
+    /// The node label multiset, ascending.
+    #[inline]
+    pub fn sorted_labels(&self) -> &[Label] {
+        &self.sorted_labels
+    }
+
+    /// Node degrees, descending.
+    #[inline]
+    pub fn degree_sequence(&self) -> &[u32] {
+        &self.degree_sequence
+    }
 }
 
 impl Graph {
+    /// Assembles a graph from validated parts, computing the signature.
+    /// `adj` must already be sorted per node and consistent with
+    /// `edge_count`.
+    fn assemble(labels: Vec<Label>, adj: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
+        let sig = GraphSignature::compute(&labels, &adj);
+        Graph {
+            labels,
+            adj,
+            edge_count,
+            sig,
+        }
+    }
+
     /// An empty graph.
     pub fn empty() -> Self {
-        Graph {
-            labels: Vec::new(),
-            adj: Vec::new(),
-            edge_count: 0,
-        }
+        Graph::assemble(Vec::new(), Vec::new(), 0)
     }
 
     /// Builds a graph directly from labels and an edge list.
@@ -166,11 +222,13 @@ impl Graph {
             adj[nv] = self.adj[v].iter().map(|&w| perm[w as usize]).collect();
             adj[nv].sort_unstable();
         }
-        Graph {
-            labels,
-            adj,
-            edge_count: self.edge_count,
-        }
+        Graph::assemble(labels, adj, self.edge_count)
+    }
+
+    /// The precomputed isomorphism-invariant signature.
+    #[inline]
+    pub fn signature(&self) -> &GraphSignature {
+        &self.sig
     }
 
     /// Histogram of node labels as `(label, count)` pairs sorted by label.
@@ -269,11 +327,7 @@ impl GraphBuilder {
         for ns in &mut self.adj {
             ns.sort_unstable();
         }
-        Graph {
-            labels: self.labels,
-            adj: self.adj,
-            edge_count: self.edge_count,
-        }
+        Graph::assemble(self.labels, self.adj, self.edge_count)
     }
 }
 
@@ -353,6 +407,27 @@ mod tests {
         assert!(p.has_edge(2, 0)); // old (0,1)
         assert!(p.has_edge(0, 1)); // old (1,2)
         assert_eq!(p.degree(0), 2); // old node 1 had degree 2
+    }
+
+    #[test]
+    fn signature_matches_content() {
+        let g = Graph::from_edges(vec![3, 1, 3, 1], &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(g.signature().sorted_labels(), &[1, 1, 3, 3]);
+        assert_eq!(g.signature().degree_sequence(), &[3, 1, 1, 1]);
+        let e = Graph::empty();
+        assert!(e.signature().sorted_labels().is_empty());
+        assert!(e.signature().degree_sequence().is_empty());
+    }
+
+    #[test]
+    fn signature_is_permutation_invariant() {
+        let g = Graph::from_edges(vec![5, 6, 7, 6], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let p = g.permute(&[2, 0, 3, 1]);
+        assert_eq!(g.signature().sorted_labels(), p.signature().sorted_labels());
+        assert_eq!(
+            g.signature().degree_sequence(),
+            p.signature().degree_sequence()
+        );
     }
 
     #[test]

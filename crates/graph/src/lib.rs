@@ -35,6 +35,6 @@ pub mod io;
 pub mod perturb;
 pub mod wl;
 
-pub use graph::{Graph, GraphBuilder, GraphError, Label, NodeId};
+pub use graph::{Graph, GraphBuilder, GraphError, GraphSignature, Label, NodeId};
 pub use perturb::{perturb, EditKind};
 pub use wl::{wl_histogram, wl_labels, WlLabeling};

@@ -110,6 +110,16 @@ pub mod names {
     /// Exact-GED timeouts recovered by recomputing with the approximate
     /// fallback metric instead of panicking.
     pub const GED_TIMEOUT_FALLBACK: &str = "ged.timeout_fallback";
+    /// GED evaluations that ran a full solver to completion (ungated calls
+    /// and cascade survivors). The gap between [`GED_CALLS`] (= NDC) and
+    /// this is the work the threshold cascade saved.
+    pub const GED_FULL_EVALS: &str = "ged.full_evals";
+    /// Threshold-gated evaluations settled by the label/size or
+    /// degree-sequence lower bound alone (no solver ran).
+    pub const GED_LB_PRUNE: &str = "ged.lb_prune";
+    /// Threshold-gated exact evaluations aborted by branch-and-bound once
+    /// every A\* branch reached the threshold.
+    pub const GED_EARLY_ABORT: &str = "ged.early_abort";
     /// Routing-trace events dropped because the ring buffer was full.
     pub const TRACE_DROPPED: &str = "trace.dropped";
 

@@ -28,6 +28,44 @@ use std::sync::Mutex;
 /// parallel construction evaluates at once.
 const STRIPES: usize = 64;
 
+/// A distance answer from a threshold-gated metric: the exact value, or an
+/// admissible lower bound that already proves the object is too far to
+/// matter (the GED kernel cascade returns `AtLeast` when a cheap signature
+/// bound or an aborted branch-and-bound reaches the caller's threshold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistBound {
+    /// The true distance.
+    Exact(f64),
+    /// The true distance is `>= lb`; the full solver never ran.
+    AtLeast(f64),
+}
+
+impl DistBound {
+    /// The smallest distance consistent with this answer.
+    pub fn min_value(&self) -> f64 {
+        match *self {
+            DistBound::Exact(d) => d,
+            DistBound::AtLeast(lb) => lb,
+        }
+    }
+
+    /// True for [`DistBound::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DistBound::Exact(_))
+    }
+}
+
+/// The cascade prune predicate: a lower bound settles a candidate only
+/// when it reaches the routing threshold `gamma` AND strictly exceeds the
+/// pool gate (the worst distance a full pool kept at its last resize).
+/// Strict `> gate` preserves the pool's `(dist, id)` tie-breaking: a
+/// candidate tied with the gate could still displace a kept entry, so it
+/// must be computed exactly. NaN gates compare false and disable pruning.
+#[inline]
+fn prunes(lb: f64, gamma: f64, gate: f64) -> bool {
+    lb >= gamma && lb > gate
+}
+
 /// Distance from the current query to database object `id`.
 ///
 /// `Sync` is a supertrait: oracles are shared across the scoped worker
@@ -35,6 +73,17 @@ const STRIPES: usize = 64;
 /// thread-safe (use atomics, not `RefCell`, for counters and timers).
 pub trait QueryDistance: Sync {
     fn distance(&self, id: u32) -> f64;
+
+    /// Threshold-gated distance: may answer with an admissible lower bound
+    /// instead of the exact value, provided the bound reaches `tau`. The
+    /// default runs the full metric — closures and wrappers that do not
+    /// override this stay bit-identical to ungated execution. Overrides
+    /// must guarantee `AtLeast(lb)` implies `lb <= d(id)` and `lb >= tau`,
+    /// and that `Exact` answers equal [`Self::distance`] bit for bit.
+    fn distance_within(&self, id: u32, tau: f64) -> DistBound {
+        let _ = tau;
+        DistBound::Exact(self.distance(id))
+    }
 }
 
 impl<F: Fn(u32) -> f64 + Sync> QueryDistance for F {
@@ -53,9 +102,20 @@ struct CacheMetrics {
 }
 
 /// Memoizing, counting wrapper around a [`QueryDistance`]. One per query.
+///
+/// Entries may hold a threshold-gated [`DistBound::AtLeast`] bound instead
+/// of an exact distance. The counter contract keeps NDC and hit counts
+/// bit-identical to an ungated run: a gated miss counts one NDC (the
+/// ungated run computed that object exactly once there too); every later
+/// touch through [`DistCache::get`]/[`DistCache::get_within`] counts one
+/// hit whether the bound survives or must be refined (the ungated run saw
+/// a hit there); [`DistCache::peek`]/[`DistCache::peek_within`] refine
+/// silently, counting nothing (ungated `peek` counted nothing). What the
+/// cascade actually saves is full solver runs — visible in the gap between
+/// `ged.calls` (= NDC) and `ged.full_evals`, never in NDC itself.
 pub struct DistCache<'a> {
     inner: &'a dyn QueryDistance,
-    stripes: Vec<Mutex<HashMap<u32, f64>>>,
+    stripes: Vec<Mutex<HashMap<u32, DistBound>>>,
     ndc: AtomicUsize,
     hits: AtomicUsize,
     metrics: Option<CacheMetrics>,
@@ -93,37 +153,133 @@ impl<'a> DistCache<'a> {
         }
     }
 
-    fn stripe(&self, id: u32) -> &Mutex<HashMap<u32, f64>> {
+    fn stripe(&self, id: u32) -> &Mutex<HashMap<u32, DistBound>> {
         &self.stripes[id as usize % STRIPES]
     }
 
-    /// The distance from the query to `id`, computed at most once — even
-    /// under concurrent access (the stripe lock covers the computation).
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.hit.inc();
+        }
+    }
+
+    fn count_miss(&self) {
+        self.ndc.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.miss.inc();
+            m.calls.inc();
+        }
+    }
+
+    /// The distance from the query to `id`, counted as a miss at most once —
+    /// even under concurrent access (the stripe lock covers the
+    /// computation). A cached threshold bound is refined to the exact value
+    /// here; the touch still counts as the single hit the ungated run saw.
     pub fn get(&self, id: u32) -> f64 {
         let mut map = self.stripe(id).lock().expect("stripe poisoned");
         match map.entry(id) {
-            Entry::Occupied(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = &self.metrics {
-                    m.hit.inc();
+            Entry::Occupied(mut e) => {
+                self.count_hit();
+                match *e.get() {
+                    DistBound::Exact(d) => d,
+                    DistBound::AtLeast(_) => {
+                        let d = self.inner.distance(id);
+                        e.insert(DistBound::Exact(d));
+                        d
+                    }
                 }
-                *e.get()
             }
             Entry::Vacant(e) => {
                 let d = self.inner.distance(id);
-                e.insert(d);
-                self.ndc.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = &self.metrics {
-                    m.miss.inc();
-                    m.calls.inc();
-                }
+                e.insert(DistBound::Exact(d));
+                self.count_miss();
                 d
             }
         }
     }
 
-    /// The cached distance, if this object's distance was ever computed.
+    /// The threshold-gated distance under the routing threshold `gamma` and
+    /// pool gate `gate` (see [`crate::pool::Pool::prune_gate`]). A cached or
+    /// freshly computed bound is kept only while the prune predicate holds
+    /// for the *current* thresholds; otherwise it is refined to the exact
+    /// value. Counters follow the [`DistCache::get`] contract exactly.
+    pub fn get_within(&self, id: u32, gamma: f64, gate: f64) -> DistBound {
+        let mut map = self.stripe(id).lock().expect("stripe poisoned");
+        match map.entry(id) {
+            Entry::Occupied(mut e) => {
+                self.count_hit();
+                match *e.get() {
+                    DistBound::Exact(d) => DistBound::Exact(d),
+                    DistBound::AtLeast(lb) if prunes(lb, gamma, gate) => DistBound::AtLeast(lb),
+                    DistBound::AtLeast(_) => {
+                        let d = self.inner.distance(id);
+                        e.insert(DistBound::Exact(d));
+                        DistBound::Exact(d)
+                    }
+                }
+            }
+            Entry::Vacant(e) => {
+                let b = match self.inner.distance_within(id, gamma.max(gate)) {
+                    // A bound that only *ties* the gate cannot settle the
+                    // candidate (the pool breaks distance ties by id);
+                    // refine it on the spot.
+                    DistBound::AtLeast(lb) if !prunes(lb, gamma, gate) => {
+                        DistBound::Exact(self.inner.distance(id))
+                    }
+                    b => b,
+                };
+                e.insert(b);
+                self.count_miss();
+                b
+            }
+        }
+    }
+
+    /// The cached distance, if this object was ever computed. A cached
+    /// threshold bound is silently refined to the exact value — no hit or
+    /// miss is counted, matching the ungated `peek` (which counted nothing
+    /// and would have found the exact value already cached).
     pub fn peek(&self, id: u32) -> Option<f64> {
+        let mut map = self.stripe(id).lock().expect("stripe poisoned");
+        match map.get_mut(&id) {
+            None => None,
+            Some(DistBound::Exact(d)) => Some(*d),
+            Some(slot) => {
+                let d = self.inner.distance(id);
+                *slot = DistBound::Exact(d);
+                Some(d)
+            }
+        }
+    }
+
+    /// The cached answer under the current thresholds, if this object was
+    /// ever computed: exact values and still-valid bounds come back as-is;
+    /// a bound the thresholds no longer justify is silently refined.
+    /// Counts nothing, like [`DistCache::peek`].
+    pub fn peek_within(&self, id: u32, gamma: f64, gate: f64) -> Option<DistBound> {
+        let mut map = self.stripe(id).lock().expect("stripe poisoned");
+        match map.get_mut(&id) {
+            None => None,
+            Some(DistBound::Exact(d)) => Some(DistBound::Exact(*d)),
+            Some(slot) => {
+                let DistBound::AtLeast(lb) = *slot else {
+                    unreachable!("non-exact slot is AtLeast")
+                };
+                if prunes(lb, gamma, gate) {
+                    Some(DistBound::AtLeast(lb))
+                } else {
+                    let d = self.inner.distance(id);
+                    *slot = DistBound::Exact(d);
+                    Some(DistBound::Exact(d))
+                }
+            }
+        }
+    }
+
+    /// The raw cached entry — exact or bound — without refining, computing,
+    /// or counting anything.
+    pub fn peek_bound(&self, id: u32) -> Option<DistBound> {
         self.stripe(id)
             .lock()
             .expect("stripe poisoned")
@@ -258,6 +414,140 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.peek(3), Some(6.0));
         assert_eq!(cache.peek(9), None);
+    }
+
+    /// A gated oracle with per-object exact distances and admissible lower
+    /// bounds, counting how often each path runs.
+    struct GatedOracle {
+        d: Vec<f64>,
+        lb: Vec<f64>,
+        full: AtomicUsize,
+        gated: AtomicUsize,
+    }
+
+    impl GatedOracle {
+        fn new(d: Vec<f64>, lb: Vec<f64>) -> Self {
+            assert!(
+                d.iter().zip(&lb).all(|(d, lb)| lb <= d),
+                "bounds admissible"
+            );
+            GatedOracle {
+                d,
+                lb,
+                full: AtomicUsize::new(0),
+                gated: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl QueryDistance for GatedOracle {
+        fn distance(&self, id: u32) -> f64 {
+            self.full.fetch_add(1, Ordering::Relaxed);
+            self.d[id as usize]
+        }
+
+        fn distance_within(&self, id: u32, tau: f64) -> DistBound {
+            let lb = self.lb[id as usize];
+            if tau.is_finite() && lb >= tau {
+                self.gated.fetch_add(1, Ordering::Relaxed);
+                DistBound::AtLeast(lb)
+            } else {
+                DistBound::Exact(self.distance(id))
+            }
+        }
+    }
+
+    #[test]
+    fn get_within_prunes_and_counts_like_get() {
+        let o = GatedOracle::new(vec![9.0, 2.0], vec![7.0, 1.0]);
+        let cache = DistCache::new(&o);
+        // Object 0: lb 7 reaches gamma 5 and beats gate 6 -> bound kept,
+        // still one NDC (the ungated run computed it here too).
+        assert_eq!(cache.get_within(0, 5.0, 6.0), DistBound::AtLeast(7.0));
+        assert_eq!(cache.ndc(), 1);
+        assert_eq!(o.full.load(Ordering::Relaxed), 0, "no full eval ran");
+        // Object 1: lb 1 misses gamma -> exact, one more NDC.
+        assert_eq!(cache.get_within(1, 5.0, 6.0), DistBound::Exact(2.0));
+        assert_eq!(cache.ndc(), 2);
+        // Re-touch under the same thresholds: hit, bound survives.
+        assert_eq!(cache.get_within(0, 5.0, 6.0), DistBound::AtLeast(7.0));
+        assert_eq!(cache.hits(), 1);
+        // Re-touch under a stricter gate: hit plus an on-the-spot refine —
+        // a full eval but no new NDC.
+        assert_eq!(cache.get_within(0, 5.0, 8.0), DistBound::Exact(9.0));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.ndc(), 2);
+        assert_eq!(o.full.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn get_refines_cached_bound_with_one_hit() {
+        let o = GatedOracle::new(vec![9.0], vec![7.0]);
+        let cache = DistCache::new(&o);
+        assert_eq!(cache.get_within(0, 5.0, 6.0), DistBound::AtLeast(7.0));
+        assert_eq!(cache.get(0), 9.0);
+        assert_eq!((cache.ndc(), cache.hits()), (1, 1));
+        // The refined value is cached exactly from then on.
+        assert_eq!(cache.peek_bound(0), Some(DistBound::Exact(9.0)));
+        assert_eq!(cache.get(0), 9.0);
+        assert_eq!(o.full.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn peek_refines_silently() {
+        let o = GatedOracle::new(vec![9.0], vec![7.0]);
+        let cache = DistCache::new(&o);
+        assert_eq!(cache.get_within(0, 5.0, 6.0), DistBound::AtLeast(7.0));
+        let (ndc, hits) = (cache.ndc(), cache.hits());
+        assert_eq!(cache.peek_bound(0), Some(DistBound::AtLeast(7.0)));
+        assert_eq!(
+            cache.peek(0),
+            Some(9.0),
+            "peek must surface the exact value"
+        );
+        assert_eq!(
+            (cache.ndc(), cache.hits()),
+            (ndc, hits),
+            "peek counts nothing"
+        );
+        assert_eq!(cache.peek(1), None);
+        assert_eq!(cache.peek_bound(1), None);
+    }
+
+    #[test]
+    fn peek_within_keeps_valid_bounds_and_refines_stale_ones() {
+        let o = GatedOracle::new(vec![9.0, 9.0], vec![7.0, 7.0]);
+        let cache = DistCache::new(&o);
+        cache.get_within(0, 5.0, 6.0);
+        cache.get_within(1, 5.0, 6.0);
+        let (ndc, hits) = (cache.ndc(), cache.hits());
+        assert_eq!(
+            cache.peek_within(0, 5.0, 6.0),
+            Some(DistBound::AtLeast(7.0))
+        );
+        assert_eq!(cache.peek_within(1, 8.0, 6.0), Some(DistBound::Exact(9.0)));
+        assert_eq!((cache.ndc(), cache.hits()), (ndc, hits));
+        assert_eq!(cache.peek_within(2, 5.0, 6.0), None);
+    }
+
+    #[test]
+    fn bound_tying_the_gate_is_refined_immediately() {
+        // lb == gate cannot settle a candidate (pool ties break by id), so
+        // the vacant path must refine before caching.
+        let o = GatedOracle::new(vec![7.5], vec![7.0]);
+        let cache = DistCache::new(&o);
+        assert_eq!(cache.get_within(0, 5.0, 7.0), DistBound::Exact(7.5));
+        assert_eq!(cache.ndc(), 1);
+    }
+
+    #[test]
+    fn closures_never_produce_bounds() {
+        // The default distance_within keeps plain closures on the exact
+        // path no matter the thresholds.
+        let f = |id: u32| id as f64;
+        let cache = DistCache::new(&f);
+        assert_eq!(cache.get_within(3, 0.0, 1.0), DistBound::Exact(3.0));
+        assert_eq!(cache.peek_bound(3), Some(DistBound::Exact(3.0)));
     }
 
     #[test]
