@@ -94,6 +94,7 @@ fn main() {
                 ..ModelConfig::default()
             },
             ds: 1.0,
+            quant: lan_core::QuantConfig::from_env(),
         };
         (5usize, 2usize, spec, cfg)
     } else {

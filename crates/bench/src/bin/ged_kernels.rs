@@ -19,6 +19,11 @@
 //! asserts the cascade cuts full evaluations by at least 2x at equal
 //! results (hence equal recall).
 //!
+//! The JSON also carries a `cascade_counters` block — the end-of-run
+//! registry totals for the full stacked cascade, cheapest tier first
+//! (quantized prefilter → admissible lower bounds → tau-aborted solves →
+//! full solves), in the same shape as `BENCH_quant.json` reports them.
+//!
 //! ```text
 //! cargo run --release -p lan-bench --bin ged_kernels [-- --smoke]
 //! ```
@@ -181,10 +186,20 @@ fn main() {
 
     let overall_ratio = (routing_seed_full + gt_seed_full) as f64
         / (routing_casc_full + gt_casc_full).max(1) as f64;
+    // The full stacked cascade, cheapest tier first, as end-of-run
+    // registry totals. The quantized prefilter tier sits above the
+    // admissible tiers but only engages on LanIndex query paths (this
+    // bench routes over a bare proximity graph), so its counters read
+    // zero here — they are reported all the same so the stack in this
+    // artifact and in BENCH_quant.json line up tier for tier.
+    let quant_evals = lan_obs::counter(names::QUANT_PREFILTER_EVALS).get();
+    let quant_pruned = lan_obs::counter(names::QUANT_PREFILTER_PRUNED).get();
     let lb_prunes = lan_obs::counter(names::GED_LB_PRUNE).get();
     let early_aborts = lan_obs::counter(names::GED_EARLY_ABORT).get();
+    let full_total = lan_obs::counter(names::GED_FULL_EVALS).get();
     eprintln!(
-        "overall reduction {overall_ratio:.2}x  (ged.lb_prune {lb_prunes}, ged.early_abort {early_aborts})"
+        "overall reduction {overall_ratio:.2}x  (quant.prefilter.pruned {quant_pruned}, \
+         ged.lb_prune {lb_prunes}, ged.early_abort {early_aborts}, ged.full_evals {full_total})"
     );
 
     // The acceptance gate: at bit-identical results (asserted above, so
@@ -210,7 +225,7 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"ged_kernels\",\n  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"queries\": {},\n  \"b\": {},\n  \"k\": {},\n  \"equivalence\": \"ok\",\n  \"routing\": {{\"seed_full_evals\": {routing_seed_full}, \"cascade_full_evals\": {routing_casc_full}, \"reduction\": {routing_ratio:.3}, \"seed_us\": {routing_seed_us:.0}, \"cascade_us\": {routing_casc_us:.0}}},\n  \"ground_truth\": {{\"k\": {gt_k}, \"seed_full_evals\": {gt_seed_full}, \"cascade_full_evals\": {gt_casc_full}, \"reduction\": {gt_ratio:.3}, \"seed_us\": {gt_seed_us:.0}, \"cascade_us\": {gt_casc_us:.0}}},\n  \"reduction\": {overall_ratio:.3},\n  \"ged_lb_prune\": {lb_prunes},\n  \"ged_early_abort\": {early_aborts}\n}}\n",
+        "{{\n  \"bench\": \"ged_kernels\",\n  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"queries\": {},\n  \"b\": {},\n  \"k\": {},\n  \"equivalence\": \"ok\",\n  \"routing\": {{\"seed_full_evals\": {routing_seed_full}, \"cascade_full_evals\": {routing_casc_full}, \"reduction\": {routing_ratio:.3}, \"seed_us\": {routing_seed_us:.0}, \"cascade_us\": {routing_casc_us:.0}}},\n  \"ground_truth\": {{\"k\": {gt_k}, \"seed_full_evals\": {gt_seed_full}, \"cascade_full_evals\": {gt_casc_full}, \"reduction\": {gt_ratio:.3}, \"seed_us\": {gt_seed_us:.0}, \"cascade_us\": {gt_casc_us:.0}}},\n  \"reduction\": {overall_ratio:.3},\n  \"ged_lb_prune\": {lb_prunes},\n  \"ged_early_abort\": {early_aborts},\n  \"cascade_counters\": {{\"quant.prefilter.evals\": {quant_evals}, \"quant.prefilter.pruned\": {quant_pruned}, \"ged.lb_prune\": {lb_prunes}, \"ged.early_abort\": {early_aborts}, \"ged.full_evals\": {full_total}}}\n}}\n",
         s.ds.graphs.len(),
         s.query_idx.len(),
         s.b,

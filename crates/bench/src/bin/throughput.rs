@@ -13,7 +13,11 @@
 //!
 //! The worker count defaults to the host's parallelism; `LAN_THREADS`
 //! overrides it. On a single-core host the speedup is honestly ~1×, and
-//! the JSON records `host_threads` so readers can tell.
+//! the JSON records `host_threads` so readers can tell; a speedup floor
+//! is only asserted on hosts with ≥ 4 threads (non-smoke). The non-smoke
+//! evaluation batch is padded to ≥ 64 queries by synthesizing extra
+//! queries generator-style (database graph + 1–4 edits, seeded), since
+//! the 6:2:2 split alone leaves too few test queries to time.
 //!
 //! A metrics snapshot is written to `results/BENCH_obs.json` at the end
 //! (with the run's independently summed `total_ndc` for cross-checking by
@@ -119,6 +123,7 @@ fn main() {
                 ..ModelConfig::default()
             },
             ds: 1.0,
+            quant: lan_core::QuantConfig::from_env(),
         };
         (5usize, 2usize, spec, cfg)
     } else {
@@ -141,12 +146,32 @@ fn main() {
     let build_s = t0.elapsed().as_secs_f64();
     eprintln!("index ready in {build_s:.1}s");
 
-    let queries: Vec<(usize, Graph)> = dataset
+    let mut queries: Vec<(usize, Graph)> = dataset
         .split
         .test
         .iter()
         .map(|&qi| (qi, dataset.queries[qi].clone()))
         .collect();
+    if !smoke {
+        // The 6:2:2 split leaves only a handful of test queries (8 at the
+        // small scale) — far too few for a meaningful throughput number
+        // (a 2-query batch once "measured" a 0.99x parallel speedup).
+        // Synthesize additional evaluation queries the same way the
+        // generator makes its own (a database graph plus 1–4 edits),
+        // deterministically seeded, until the batch holds ≥ 64. Ground
+        // truth is computed per query below, so recall stays exact.
+        const MIN_EVAL_QUERIES: usize = 64;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7410_BE9C);
+        let mut next_qi = dataset.queries.len();
+        while queries.len() < MIN_EVAL_QUERIES {
+            let base = &dataset.graphs[rng.gen_range(0..dataset.graphs.len())];
+            let t = rng.gen_range(1..=4);
+            let (q, _) = lan_graph::perturb::perturb(&mut rng, base, t, dataset.spec.num_labels);
+            queries.push((next_qi, q));
+            next_qi += 1;
+        }
+    }
     let truth_kth: Vec<f64> = queries
         .iter()
         .map(|(_, q)| {
@@ -211,6 +236,19 @@ fn main() {
     let best = par_shards.qps.max(par_queries.qps);
     let speedup = best / seq.qps.max(1e-12);
     eprintln!("best parallel speedup over sequential: {speedup:.2}x");
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // Only a real parallel host can be held to a speedup floor; on 1–2
+    // cores the honest result is ~1x and the JSON's `host_threads` says
+    // why. Smoke batches are too small to amortize thread startup.
+    if !smoke && host_threads >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "parallel speedup {speedup:.2}x on a {host_threads}-thread host \
+             (floor: 1.5x with >= 4 threads)"
+        );
+    }
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(

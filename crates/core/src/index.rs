@@ -1,8 +1,65 @@
 //! Offline index construction: proximity graph + trained models + CGs.
 
 use lan_datasets::Dataset;
+use lan_gnn::QuantMode;
 use lan_models::{LanModels, ModelConfig, TrainReport};
 use lan_pg::{PairCache, PgConfig, ProximityGraph};
+
+/// Configuration of the quantized prefilter tier at query time (the code
+/// books themselves are always built at index time; this only selects
+/// what queries do with them).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantConfig {
+    /// Surrogate mode routing prefilters with (`Off` disables the tier).
+    pub mode: QuantMode,
+    /// Safety margin of the routing prefilter: a candidate is skipped
+    /// only when its calibrated prediction exceeds `tau·margin + slack`
+    /// (see `lan_models::QuantPrefilter`). Must be ≥ 1.
+    pub margin: f64,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig {
+            mode: QuantMode::Off,
+            margin: 1.5,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// Parses the `LAN_QUANT` environment knob: `off` (default), `binary`,
+    /// `scalar`, with an optional `:margin` suffix (e.g. `scalar:2.0`).
+    /// Unparseable values fall back to the default (tier off) — an env
+    /// typo must not flip query semantics silently, so the fallback is
+    /// the do-nothing configuration.
+    pub fn from_env() -> Self {
+        match std::env::var("LAN_QUANT") {
+            Ok(v) => Self::parse(&v).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses `mode[:margin]`; `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (mode_s, margin_s) = match s.split_once(':') {
+            Some((m, g)) => (m, Some(g)),
+            None => (s, None),
+        };
+        let mode = QuantMode::parse(mode_s.trim())?;
+        let margin = match margin_s {
+            Some(g) => {
+                let m: f64 = g.trim().parse().ok()?;
+                if !m.is_finite() || m < 1.0 {
+                    return None;
+                }
+                m
+            }
+            None => Self::default().margin,
+        };
+        Some(QuantConfig { mode, margin })
+    }
+}
 
 /// Configuration of the whole LAN index.
 #[derive(Debug, Clone)]
@@ -11,6 +68,10 @@ pub struct LanConfig {
     pub model: ModelConfig,
     /// γ escalation step `d_s` for np_route (unit-cost GED → 1).
     pub ds: f64,
+    /// Quantized prefilter tier (defaults to `LAN_QUANT`, read once at
+    /// config construction; override programmatically to sweep modes and
+    /// margins without environment races).
+    pub quant: QuantConfig,
 }
 
 impl Default for LanConfig {
@@ -19,6 +80,7 @@ impl Default for LanConfig {
             pg: PgConfig::new(6),
             model: ModelConfig::default(),
             ds: 1.0,
+            quant: QuantConfig::from_env(),
         }
     }
 }
@@ -96,6 +158,7 @@ mod tests {
                 ..ModelConfig::default()
             },
             ds: 1.0,
+            quant: QuantConfig::default(),
         };
         LanIndex::build(ds, cfg)
     }

@@ -7,13 +7,14 @@
 //! cross-graph learning time vs rest).
 
 use crate::index::LanIndex;
+use lan_gnn::QuantMode;
 use lan_graph::Graph;
-use lan_models::LearnedRanker;
+use lan_models::{LearnedRanker, QuantPrefilter, QueryContext};
 use lan_obs::{names, span, TimerCell};
 use lan_pg::budget::{budgeted_get, BudgetCtx, Termination};
 use lan_pg::faults::{self, FaultMetrics, FaultPlan};
-use lan_pg::np_route::np_route_budgeted;
-use lan_pg::{beam_search_budgeted, DistBound, DistCache, QueryDistance};
+use lan_pg::np_route::np_route_prefiltered;
+use lan_pg::{beam_search_budgeted, CandidatePrefilter, DistBound, DistCache, QueryDistance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -249,7 +250,8 @@ impl LanIndex {
             RouteStrategy::LanRoute { use_cg } => {
                 let qc = qctx.as_ref().expect("LAN_Route requires a query context");
                 let ranker = LearnedRanker::new(&self.models, qc, use_cg);
-                np_route_budgeted(
+                let prefilter = self.quant_prefilter(qc);
+                np_route_prefiltered(
                     self.pg.base(),
                     &cache,
                     &ranker,
@@ -258,6 +260,7 @@ impl LanIndex {
                     k,
                     self.cfg.ds,
                     ctx,
+                    prefilter.as_ref().map(|p| p as &dyn CandidatePrefilter),
                 )
             }
         };
@@ -294,9 +297,47 @@ impl LanIndex {
         }
     }
 
+    /// The per-query routing prefilter under the configured quantized
+    /// tier; `None` when the tier is off (or nothing was quantized), in
+    /// which case routing is bit-identical to the pre-quant router.
+    fn quant_prefilter<'a>(&'a self, qc: &QueryContext) -> Option<QuantPrefilter<'a>> {
+        if self.cfg.quant.mode == QuantMode::Off {
+            return None;
+        }
+        let idx = self.models.quant.as_ref()?;
+        Some(QuantPrefilter::new(
+            idx,
+            self.cfg.quant.mode,
+            &qc.gin_embed,
+            self.cfg.quant.margin,
+        ))
+    }
+
+    /// Calibrated quantized-surrogate predictions for every database
+    /// graph — visit-order keys for the reorderable ground-truth scan.
+    /// `None` when the configured mode is `Off` (or nothing quantized).
+    pub fn quant_keys(&self, q: &Graph) -> Option<Vec<f64>> {
+        if self.cfg.quant.mode == QuantMode::Off {
+            return None;
+        }
+        let idx = self.models.quant.as_ref()?;
+        let qq = idx.encode(&self.models.embed(q));
+        Some(idx.keys(self.cfg.quant.mode, &qq))
+    }
+
+    /// Ground-truth k-NN of `q`, visiting candidates in quantized order
+    /// when the tier is enabled. Result-identical to
+    /// [`lan_datasets::Dataset::ground_truth_knn`] in every mode (the
+    /// reordering only moves `ged.full_evals`, proven and property-tested
+    /// in `lan-datasets`).
+    pub fn ground_truth(&self, q: &Graph, k: usize) -> Vec<(f64, u32)> {
+        let keys = self.quant_keys(q);
+        self.dataset.ground_truth_knn_ordered(q, k, keys.as_deref())
+    }
+
     /// Recall@k of a result id list against the brute-force ground truth.
     pub fn recall(&self, q: &Graph, result_ids: &[u32], k: usize) -> f64 {
-        let truth = self.dataset.ground_truth_knn(q, k);
+        let truth = self.ground_truth(q, k);
         let truth_ids: Vec<u32> = truth.iter().map(|&(_, id)| id).collect();
         lan_datasets::recall_at_k(result_ids, &truth_ids, k)
     }

@@ -249,6 +249,7 @@ mod tests {
                 ..ModelConfig::default()
             },
             ds: 1.0,
+            quant: crate::index::QuantConfig::default(),
         }
     }
 

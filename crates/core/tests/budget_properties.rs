@@ -42,6 +42,7 @@ fn tiny_cfg() -> LanConfig {
             ..ModelConfig::default()
         },
         ds: 1.0,
+        quant: lan_core::QuantConfig::default(),
     }
 }
 

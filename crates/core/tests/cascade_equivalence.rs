@@ -30,6 +30,7 @@ fn tiny_index() -> LanIndex {
             ..ModelConfig::default()
         },
         ds: 1.0,
+        quant: lan_core::QuantConfig::default(),
     };
     LanIndex::build(ds, cfg)
 }

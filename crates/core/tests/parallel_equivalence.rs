@@ -34,6 +34,7 @@ fn tiny_cfg() -> LanConfig {
             ..ModelConfig::default()
         },
         ds: 1.0,
+        quant: lan_core::QuantConfig::default(),
     }
 }
 

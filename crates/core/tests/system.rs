@@ -27,6 +27,7 @@ fn small_index() -> LanIndex {
             ..ModelConfig::default()
         },
         ds: 1.0,
+        quant: lan_core::QuantConfig::default(),
     };
     LanIndex::build(ds, cfg)
 }

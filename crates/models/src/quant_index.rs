@@ -1,0 +1,223 @@
+//! The quantized prefilter tier's model-side pieces: calibration of the
+//! raw code distances to operational-GED scale and the
+//! [`lan_pg::CandidatePrefilter`] adapter the router consumes.
+//!
+//! [`lan_gnn::QuantStore`] gives *uncalibrated* surrogates (Hamming counts
+//! or integer squared-L2 over `u8` codes) whose scale has nothing to do
+//! with GED. [`QuantIndex`] fits one linear map per mode,
+//! `pred = a + b·raw`, by least squares over the training workload's
+//! `(raw code distance, operational distance)` pairs — the same
+//! `train_dists` matrix every other model trains on, so calibration adds
+//! no distance computations. The calibrated prediction is what both
+//! consumers see:
+//!
+//! * [`QuantIndex::keys`] — per-database-graph predictions used by
+//!   `ground_truth_knn_ordered` as visit-order keys (result-identical by
+//!   construction, any calibration quality);
+//! * [`QuantPrefilter`] — skips a routing candidate when
+//!   `pred > tau·margin + slack`; the margin/slack headroom absorbs
+//!   calibration error, trading a little of the NDC saving for recall
+//!   (the quant bench sweeps it and gates recall ≥ 0.98).
+
+use lan_gnn::{QuantMode, QuantQuery, QuantStore};
+use lan_obs::{names, Counter};
+use lan_pg::CandidatePrefilter;
+
+/// One fitted linear map `raw → predicted operational distance`.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantCalib {
+    pub a: f64,
+    pub b: f64,
+}
+
+impl QuantCalib {
+    /// Least-squares fit of `d ≈ a + b·raw`. Degenerate inputs (no pairs,
+    /// or zero raw variance) fall back to the constant mean with `b = 0`
+    /// — predictions then carry no per-candidate signal and the prefilter
+    /// margin test keeps every candidate (safe, never wrong).
+    fn fit(pairs: &[(f64, f64)]) -> QuantCalib {
+        let n = pairs.len() as f64;
+        if pairs.is_empty() {
+            return QuantCalib { a: 0.0, b: 0.0 };
+        }
+        let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let var_x = pairs.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>();
+        if var_x <= 1e-12 {
+            return QuantCalib { a: mean_y, b: 0.0 };
+        }
+        let cov = pairs
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum::<f64>();
+        let b = cov / var_x;
+        QuantCalib {
+            a: mean_y - b * mean_x,
+            b,
+        }
+    }
+
+    pub fn predict(&self, raw: f64) -> f64 {
+        self.a + self.b * raw
+    }
+}
+
+/// The packed code store plus per-mode GED calibration — everything the
+/// two prefilter consumers need, built once at index time.
+pub struct QuantIndex {
+    pub store: QuantStore,
+    pub calib_binary: QuantCalib,
+    pub calib_scalar: QuantCalib,
+}
+
+impl QuantIndex {
+    /// Builds the code store from the database embeddings and calibrates
+    /// both modes against the training workload (`train_embeds[qi]` is
+    /// the GIN embedding of training query `qi`, `train_dists[qi][g]` its
+    /// operational distance to database graph `g`). Returns `None` when
+    /// there is nothing to quantize.
+    pub fn build(
+        db_embeds: &[Vec<f32>],
+        train_embeds: &[Vec<f32>],
+        train_dists: &[Vec<f64>],
+    ) -> Option<QuantIndex> {
+        assert_eq!(train_embeds.len(), train_dists.len());
+        let store = QuantStore::build(db_embeds)?;
+        let n = store.len();
+        let mut pairs_b: Vec<(f64, f64)> = Vec::with_capacity(train_embeds.len() * n);
+        let mut pairs_s: Vec<(f64, f64)> = Vec::with_capacity(train_embeds.len() * n);
+        for (qe, ds) in train_embeds.iter().zip(train_dists) {
+            assert_eq!(ds.len(), n, "train_dists row must cover the database");
+            let q = store.encode(qe);
+            for g in 0..n as u32 {
+                let d = ds[g as usize];
+                pairs_b.push((store.hamming(&q, g) as f64, d));
+                pairs_s.push((store.l2sq(&q, g) as f64, d));
+            }
+        }
+        Some(QuantIndex {
+            store,
+            calib_binary: QuantCalib::fit(&pairs_b),
+            calib_scalar: QuantCalib::fit(&pairs_s),
+        })
+    }
+
+    /// Encodes a query embedding (both modes at once).
+    pub fn encode(&self, embed: &[f32]) -> QuantQuery {
+        self.store.encode(embed)
+    }
+
+    /// Calibrated predicted operational distance to database graph `id`.
+    pub fn predict(&self, mode: QuantMode, q: &QuantQuery, id: u32) -> f64 {
+        let raw = self.store.raw_score(mode, q, id);
+        match mode {
+            QuantMode::Binary => self.calib_binary.predict(raw),
+            QuantMode::Scalar => self.calib_scalar.predict(raw),
+            QuantMode::Off => unreachable!("raw_score rejects Off"),
+        }
+    }
+
+    /// Calibrated predictions for every database graph — the visit-order
+    /// keys for `ground_truth_knn_ordered`.
+    pub fn keys(&self, mode: QuantMode, q: &QuantQuery) -> Vec<f64> {
+        (0..self.store.len() as u32)
+            .map(|g| self.predict(mode, q, g))
+            .collect()
+    }
+}
+
+/// Per-query adapter plugging the quantized tier into `np_route` (see
+/// `lan_pg::prefilter` for when the router consults it and why skips are
+/// recall-safe). One instance per query; `Sync` because sharded queries
+/// probe it from worker threads.
+pub struct QuantPrefilter<'a> {
+    index: &'a QuantIndex,
+    mode: QuantMode,
+    q: QuantQuery,
+    margin: f64,
+    slack: f64,
+    m_evals: &'static Counter,
+    m_pruned: &'static Counter,
+}
+
+impl<'a> QuantPrefilter<'a> {
+    /// `margin`/`slack` set the safety headroom: a candidate is skipped
+    /// only when its calibrated prediction exceeds `tau·margin + slack`.
+    /// `margin > 1` scales with the threshold (relative headroom), `slack`
+    /// guards the small-`tau` regime where relative error blows up.
+    pub fn new(index: &'a QuantIndex, mode: QuantMode, embed: &[f32], margin: f64) -> Self {
+        assert!(mode != QuantMode::Off, "prefilter needs an active mode");
+        assert!(margin >= 1.0, "margin below 1 is never recall-safe");
+        QuantPrefilter {
+            q: index.encode(embed),
+            index,
+            mode,
+            margin,
+            slack: 1.0,
+            m_evals: lan_obs::counter(names::QUANT_PREFILTER_EVALS),
+            m_pruned: lan_obs::counter(names::QUANT_PREFILTER_PRUNED),
+        }
+    }
+}
+
+impl CandidatePrefilter for QuantPrefilter<'_> {
+    fn predict_beyond(&self, id: u32, tau: f64) -> bool {
+        self.m_evals.inc();
+        let pred = self.index.predict(self.mode, &self.q, id);
+        let beyond = pred > tau * self.margin + self.slack;
+        if beyond {
+            self.m_pruned.inc();
+        }
+        beyond
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_linear_relation() {
+        let pairs: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        let c = QuantCalib::fit(&pairs);
+        assert!((c.a - 3.0).abs() < 1e-9, "a = {}", c.a);
+        assert!((c.b - 0.5).abs() < 1e-9, "b = {}", c.b);
+    }
+
+    #[test]
+    fn fit_degenerate_is_constant_mean() {
+        let c = QuantCalib::fit(&[(2.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(c.b, 0.0);
+        assert!((c.a - 6.0).abs() < 1e-9);
+        let empty = QuantCalib::fit(&[]);
+        assert_eq!((empty.a, empty.b), (0.0, 0.0));
+    }
+
+    #[test]
+    fn calibrated_index_predicts_on_synthetic_embeddings() {
+        // Embeddings on a line, distances proportional to position: the
+        // scalar mode must calibrate to near-perfect rank order.
+        let db: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32 * 0.1; 8]).collect();
+        let train_embeds: Vec<Vec<f32>> = vec![vec![0.0; 8], vec![1.6; 8]];
+        let train_dists: Vec<Vec<f64>> = train_embeds
+            .iter()
+            .map(|qe| {
+                (0..32)
+                    .map(|i| (qe[0] as f64 - i as f64 * 0.1).abs() * 10.0)
+                    .collect()
+            })
+            .collect();
+        let idx = QuantIndex::build(&db, &train_embeds, &train_dists).unwrap();
+        let q = idx.encode(&[0.0f32; 8]);
+        let keys = idx.keys(QuantMode::Scalar, &q);
+        // Predictions must increase with the true distance from position 0.
+        for w in keys.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6, "keys not monotone: {keys:?}");
+        }
+        // And the prefilter fires on far graphs but not near ones at a
+        // mid-scale tau.
+        let pf = QuantPrefilter::new(&idx, QuantMode::Scalar, &[0.0f32; 8], 1.0);
+        assert!(!pf.predict_beyond(0, 8.0), "near graph wrongly skipped");
+        assert!(pf.predict_beyond(31, 8.0), "far graph not skipped");
+    }
+}

@@ -25,11 +25,15 @@ pub mod faults;
 pub mod metric;
 pub mod np_route;
 pub mod pool;
+pub mod prefilter;
 pub mod routing;
 
 pub use budget::{budgeted_get, budgeted_get_within, BudgetCtx, QueryBudget, Termination};
 pub use build::{brute_force_knn, PgConfig, ProximityGraph};
 pub use faults::{FaultMetrics, FaultPlan};
 pub use metric::{DistBound, DistCache, PairCache, PairDistance, QueryDistance};
-pub use np_route::{np_route, np_route_budgeted, NeighborRanker, NoPruneRanker, OracleRanker};
+pub use np_route::{
+    np_route, np_route_budgeted, np_route_prefiltered, NeighborRanker, NoPruneRanker, OracleRanker,
+};
+pub use prefilter::{CandidatePrefilter, NeverSkip, OraclePrefilter};
 pub use routing::{beam_search, beam_search_budgeted, range_search, RouteResult};

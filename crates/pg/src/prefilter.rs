@@ -1,0 +1,199 @@
+//! Candidate prefiltering for routing — the hook the quantized-embedding
+//! tier plugs into above the threshold-gated GED cascade.
+//!
+//! The GED cascade (`QueryDistance::distance_within`) is *admissible*: its
+//! lower bounds never overestimate, so gated pruning is provably lossless.
+//! A learned surrogate (quantized embedding distance) is **not** admissible
+//! — it can overestimate — so it must not feed the same gate. Instead it
+//! acts one tier earlier, as a [`CandidatePrefilter`] consulted by
+//! `np_route` *before* a candidate's distance is ever requested:
+//!
+//! * the router asks `predict_beyond(id, tau)` with
+//!   `tau = max(γ, pool gate)` — the threshold beyond which the candidate
+//!   provably cannot contribute to the final top-k *at this round*;
+//! * a `true` answer skips the distance computation entirely (no NDC, no
+//!   cache entry) and is treated like a certified `d ≥ γ` threshold hit;
+//! * the router only consults the prefilter when `tau` is finite (pool
+//!   full, gating active) and the candidate is uncached — cached answers
+//!   are free and always better than a prediction.
+//!
+//! **Recall safety.** A skipped candidate leaves no trace in the distance
+//! cache, so every later round that reaches it — stage-2 re-scans under an
+//! escalated γ, further batch openings — re-asks the prefilter with the
+//! *larger* τ and eventually computes the real distance once the
+//! prediction no longer clears it. A mistaken skip therefore costs at most
+//! a delay to a higher-γ round of the same query, the same failure mode
+//! the paper's learned ranker already has; it is never silently final
+//! unless the prediction keeps clearing every escalated threshold, which
+//! the consumer's calibrated safety margin makes rare (measured, not
+//! assumed: the quant bench gates recall ≥ 0.98). The property tests below
+//! pin the two analytic anchors: a never-firing prefilter is bit-identical
+//! to unfiltered routing, and a *truthful* prefilter (predicting with the
+//! true distance) is result-identical with NDC never larger.
+
+use crate::metric::QueryDistance;
+
+/// Decides whether a candidate's distance computation can be skipped.
+///
+/// Implementations must be cheap relative to one distance computation —
+/// the router may consult the prefilter once per candidate per γ round.
+/// `Sync` because one prefilter instance is shared by concurrently
+/// executing queries.
+pub trait CandidatePrefilter: Sync {
+    /// `true` predicts the candidate's true distance to the query exceeds
+    /// `tau` (strictly) — the router then skips computing it this round.
+    /// `tau` is always finite.
+    fn predict_beyond(&self, id: u32, tau: f64) -> bool;
+}
+
+/// A prefilter that never skips — routing with it is bit-identical to
+/// routing without one (the property test anchors this).
+pub struct NeverSkip;
+
+impl CandidatePrefilter for NeverSkip {
+    fn predict_beyond(&self, _id: u32, _tau: f64) -> bool {
+        false
+    }
+}
+
+/// The idealized prefilter that predicts with the **true** distance —
+/// the analytic upper bound on what a learned surrogate can achieve.
+/// With it, skips are exactly the computations whose results the pool
+/// would provably truncate, so results are identical and NDC never
+/// larger (same argument as the admissible cascade's gate, applied one
+/// tier earlier). Test-only in spirit, but exported for benches that
+/// want the oracle ceiling.
+pub struct OraclePrefilter<'a> {
+    truth: &'a dyn QueryDistance,
+}
+
+impl<'a> OraclePrefilter<'a> {
+    pub fn new(truth: &'a dyn QueryDistance) -> Self {
+        OraclePrefilter { truth }
+    }
+}
+
+impl CandidatePrefilter for OraclePrefilter<'_> {
+    fn predict_beyond(&self, id: u32, tau: f64) -> bool {
+        // Not counted as NDC — the same idealization as `OracleRanker`
+        // (Theorem 1's oracle assumption).
+        self.truth.distance(id) > tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetCtx;
+    use crate::metric::DistCache;
+    use crate::np_route::{np_route, np_route_prefiltered, OracleRanker};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_adj(rng: &mut StdRng, n: usize, extra: usize) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<u32>>, a: usize, b: usize| {
+            if a != b && !adj[a].contains(&(b as u32)) {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        };
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            connect(&mut adj, i, j);
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            connect(&mut adj, a, b);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    #[test]
+    fn never_skip_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(131);
+        for trial in 0..150 {
+            let n = rng.gen_range(5..30);
+            let adj = random_adj(&mut rng, n, n);
+            // Integer distances with ties — the hard case.
+            let dists: Vec<f64> = (0..n).map(|_| rng.gen_range(0..8) as f64).collect();
+            let entry = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(1..6);
+            let k = rng.gen_range(1..=b);
+            let f = |id: u32| dists[id as usize];
+            let oracle = OracleRanker::new(&f, 20);
+
+            let cache_plain = DistCache::new(&f);
+            let plain = np_route(&adj, &cache_plain, &oracle, &[entry], b, k, 1.0);
+            let cache_pf = DistCache::new(&f);
+            let pf = np_route_prefiltered(
+                &adj,
+                &cache_pf,
+                &oracle,
+                &[entry],
+                b,
+                k,
+                1.0,
+                &BudgetCtx::unlimited(),
+                Some(&NeverSkip),
+            );
+            assert_eq!(plain.results, pf.results, "trial {trial}");
+            assert_eq!(plain.ndc, pf.ndc, "trial {trial}");
+            assert_eq!(
+                plain.exploration_order, pf.exploration_order,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn truthful_prefilter_same_results_never_more_ndc() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let (mut ndc_plain_sum, mut ndc_pf_sum) = (0usize, 0usize);
+        for trial in 0..200 {
+            let n = rng.gen_range(5..30);
+            let adj = random_adj(&mut rng, n, n);
+            let dists: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+            let entry = rng.gen_range(0..n) as u32;
+            let b = rng.gen_range(1..6);
+            let k = rng.gen_range(1..=b);
+            let f = |id: u32| dists[id as usize];
+            let oracle = OracleRanker::new(&f, 20);
+
+            let cache_plain = DistCache::new(&f);
+            let plain = np_route(&adj, &cache_plain, &oracle, &[entry], b, k, 1.0);
+            let cache_pf = DistCache::new(&f);
+            let truthful = OraclePrefilter::new(&f);
+            let pf = np_route_prefiltered(
+                &adj,
+                &cache_pf,
+                &oracle,
+                &[entry],
+                b,
+                k,
+                1.0,
+                &BudgetCtx::unlimited(),
+                Some(&truthful),
+            );
+            assert_eq!(plain.results, pf.results, "trial {trial}");
+            assert!(
+                pf.ndc <= plain.ndc,
+                "trial {trial}: prefiltered NDC {} > plain {}",
+                pf.ndc,
+                plain.ndc
+            );
+            ndc_plain_sum += plain.ndc;
+            ndc_pf_sum += pf.ndc;
+        }
+        // The oracle ceiling must actually save work in aggregate,
+        // otherwise the tier is wired wrong (e.g. never consulted).
+        assert!(
+            ndc_pf_sum < ndc_plain_sum,
+            "truthful prefilter saved nothing: {ndc_pf_sum} vs {ndc_plain_sum}"
+        );
+    }
+}

@@ -30,6 +30,7 @@ fn main() {
             ..ModelConfig::default()
         },
         ds: 1.0,
+        quant: lan_core::QuantConfig::from_env(),
     };
     println!("building index...");
     let index = LanIndex::build(dataset, cfg);

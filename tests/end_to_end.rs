@@ -29,6 +29,7 @@ fn build() -> LanIndex {
                 ..ModelConfig::default()
             },
             ds: 1.0,
+            quant: lan_core::QuantConfig::default(),
         },
     )
 }
