@@ -36,6 +36,38 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+/// The EXPLAIN/profiler disabled paths: the acceptance bar is a single
+/// relaxed atomic load per check — same cost class as
+/// `counter_inc_disabled` above, nanoseconds against a microseconds-scale
+/// query. `span_profile_off` shows an *enabled metrics* span still pays
+/// nothing extra for the profiler being off.
+fn bench_explain_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_explain");
+
+    lan_obs::explain::set_enabled(false);
+    lan_obs::profile::set_enabled(false);
+    group.bench_function("explain_enabled_check_disabled", |b| {
+        b.iter(lan_obs::explain::enabled)
+    });
+    group.bench_function("profile_enabled_check_disabled", |b| {
+        b.iter(lan_obs::profile::enabled)
+    });
+    lan_obs::set_enabled(true);
+    group.bench_function("span_profile_off", |b| {
+        b.iter(|| {
+            let _s = span("bench.obs.span");
+        })
+    });
+    lan_obs::profile::set_enabled(true);
+    group.bench_function("span_profile_on", |b| {
+        b.iter(|| {
+            let _s = span("bench.obs.span");
+        })
+    });
+    lan_obs::profile::set_enabled(false);
+    group.finish();
+}
+
 fn bench_routing_overhead(c: &mut Criterion) {
     let n = 2000usize;
     let mut rng = StdRng::seed_from_u64(3);
@@ -67,5 +99,10 @@ fn bench_routing_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_routing_overhead);
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_explain_overhead,
+    bench_routing_overhead
+);
 criterion_main!(benches);

@@ -2,15 +2,17 @@
 //! behind the `obs-smoke` job.
 //!
 //! ```text
-//! obs_check <BENCH_obs.json> [trace.jsonl]
+//! obs_check <BENCH_obs.json> [trace.jsonl] [explain.jsonl]
 //! ```
 //!
 //! Verifies that the metrics snapshot contains every counter the query
 //! path is instrumented with, that the exported `ged.calls` equals the
 //! bench's independently summed `total_ndc` (the NDC-equals-cache-misses
 //! invariant end to end), and — when a trace file is given — that it is
-//! non-empty, line-delimited JSON with the expected hop fields. Exits
-//! non-zero on the first violation.
+//! non-empty, line-delimited JSON with the expected hop fields. When an
+//! EXPLAIN file is given, every line must be a complete plan whose tier
+//! attribution reconciles exactly: `lb_prunes + tau_aborts + full_solves
+//! == ndc`. Exits non-zero on the first violation.
 
 use std::process::ExitCode;
 
@@ -34,6 +36,12 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "quant.reorder.used",
     "quant.kernel.simd",
     "quant.kernel.scalar",
+    // The EXPLAIN / profiler / trace families register at LanIndex build
+    // time; zeros when the switches are off — presence is the contract.
+    "explain.queries",
+    "explain.dropped",
+    "profile.spans",
+    "trace.dropped",
 ];
 
 /// Finds `"key": <number>` in a JSON document and parses the number.
@@ -112,6 +120,74 @@ fn main() -> ExitCode {
             return fail(&format!("{trace_path} contains no hop events"));
         }
         eprintln!("obs_check: {hops} hop events OK in {trace_path}");
+    }
+
+    if let Some(explain_path) = args.get(2) {
+        let plans = match std::fs::read_to_string(explain_path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {explain_path}: {e}")),
+        };
+        let mut n = 0usize;
+        for (i, line) in plans.lines().enumerate() {
+            if !(line.starts_with('{') && line.ends_with('}')) {
+                return fail(&format!("{explain_path}:{}: not a JSON object", i + 1));
+            }
+            for field in [
+                "\"q\":",
+                "\"k\":",
+                "\"b\":",
+                "\"init\":",
+                "\"route\":",
+                "\"term\":",
+                "\"ns\":",
+                "\"ndc\":",
+                "\"cache_hits\":",
+                "\"hops\":",
+                "\"tiers\":",
+                "\"budget\":",
+                "\"timeline\":",
+                "\"shards\":",
+            ] {
+                if !line.contains(field) {
+                    return fail(&format!(
+                        "{explain_path}:{}: EXPLAIN plan missing {field}",
+                        i + 1
+                    ));
+                }
+            }
+            // Tier reconciliation per plan. The scanner reads the *first*
+            // occurrence of each key, which is the top-level (merged) plan
+            // — "tiers" precedes the nested "shards" sub-plans by schema.
+            let ndc = json_u64(line, "ndc");
+            let lb = json_u64(line, "lb_prunes");
+            let tau = json_u64(line, "tau_aborts");
+            let full = json_u64(line, "full_solves");
+            match (ndc, lb, tau, full) {
+                (Some(ndc), Some(lb), Some(tau), Some(full)) => {
+                    if lb + tau + full != ndc {
+                        return fail(&format!(
+                            "{explain_path}:{}: tier attribution {lb}+{tau}+{full} != ndc {ndc}",
+                            i + 1
+                        ));
+                    }
+                }
+                _ => {
+                    return fail(&format!(
+                        "{explain_path}:{}: plan missing ndc/tier counts",
+                        i + 1
+                    ))
+                }
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return fail(&format!("{explain_path} contains no EXPLAIN plans"));
+        }
+        let emitted = json_u64(&doc, "explain.queries").unwrap_or(0);
+        if emitted == 0 {
+            return fail("explain.queries is 0 but an EXPLAIN file was produced");
+        }
+        eprintln!("obs_check: {n} EXPLAIN plans reconcile in {explain_path}");
     }
 
     eprintln!("obs_check: OK");

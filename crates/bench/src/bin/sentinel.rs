@@ -1,0 +1,167 @@
+//! Benchmark regression sentinel — the CI gate behind the `sentinel` job.
+//!
+//! ```text
+//! sentinel <baseline.json> <fresh.json> [--strict-time] [--inject-ndc <pct>]
+//! ```
+//!
+//! Diffs a fresh bench artifact (`results/BENCH_*.json`) against a
+//! committed baseline (`crates/bench/baselines/`), metric by metric, with
+//! per-class tolerance bands:
+//!
+//! * **work metrics** (paths containing `ndc` or `full_evals`) are
+//!   lower-better with a 10% band — the searches are deterministic, so a
+//!   breach means the code started doing more distance computations;
+//! * **quality metrics** (`recall`, `reduction`) are higher-better with a
+//!   5% band;
+//! * **time metrics** (`wall_s`, `qps`, `speedup`, `_us`, `_s`) are
+//!   machine-dependent and skipped unless `--strict-time` widens its 30%
+//!   band over them — committed baselines come from a different host;
+//! * everything else (sizes, counts of the run configuration) must match
+//!   exactly — a drift means the bench no longer runs the same workload.
+//!
+//! A metric present in only one document is a schema break and fails.
+//! `--inject-ndc <pct>` inflates every fresh work metric by `pct`% before
+//! diffing — CI's negative test asserts the sentinel exits nonzero at 15%.
+
+use lan_bench::json::{parse, Value};
+use std::process::ExitCode;
+
+/// How a metric is judged against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Class {
+    /// Regression when fresh exceeds baseline by more than the band.
+    LowerBetter(f64),
+    /// Regression when fresh undercuts baseline by more than the band.
+    HigherBetter(f64),
+    /// Machine-dependent; skipped unless `--strict-time`.
+    Time,
+    /// Workload configuration — must match exactly.
+    Exact,
+}
+
+/// Classifies a flattened metric path by its trailing segment.
+fn classify(path: &str) -> Class {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    // Thread counts ride with the time class: they describe the host, not
+    // the workload, and only matter when timings are being compared too.
+    let timey = [
+        "wall_s",
+        "qps",
+        "speedup",
+        "build_s",
+        "host_threads",
+        "lan_threads",
+    ]
+    .contains(&leaf)
+        || leaf.ends_with("_us")
+        || leaf.ends_with("_ms");
+    if timey {
+        Class::Time
+    } else if leaf.contains("ndc") || leaf.contains("full_evals") || leaf.contains("dropped") {
+        Class::LowerBetter(0.10)
+    } else if leaf.contains("recall") || leaf.contains("reduction") {
+        Class::HigherBetter(0.05)
+    } else {
+        Class::Exact
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sentinel: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut strict_time = false;
+    let mut inject_ndc: f64 = 0.0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict-time" => strict_time = true,
+            "--inject-ndc" => {
+                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail("--inject-ndc needs a numeric percentage");
+                };
+                inject_ndc = pct;
+            }
+            p => paths.push(p),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return fail(
+            "usage: sentinel <baseline.json> <fresh.json> [--strict-time] [--inject-ndc <pct>]",
+        );
+    };
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+
+    let base_metrics = baseline.flatten_numbers();
+    let mut fresh_metrics = fresh.flatten_numbers();
+    if inject_ndc != 0.0 {
+        eprintln!("sentinel: injecting +{inject_ndc}% into work metrics (negative test)");
+        for (path, v) in fresh_metrics.iter_mut() {
+            if matches!(classify(path), Class::LowerBetter(_)) {
+                *v *= 1.0 + inject_ndc / 100.0;
+            }
+        }
+    }
+
+    let mut regressions = 0usize;
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+
+    for (path, base) in &base_metrics {
+        let Some(&(_, fresh_v)) = fresh_metrics.iter().find(|(p, _)| p == path) else {
+            eprintln!("sentinel: REGRESSION {path}: present in baseline, missing in fresh");
+            regressions += 1;
+            continue;
+        };
+        let class = classify(path);
+        let (verdict, band) = match class {
+            Class::Time if !strict_time => {
+                skipped += 1;
+                continue;
+            }
+            Class::Time => (fresh_v < base * (1.0 - 0.30), 0.30),
+            Class::LowerBetter(band) => (fresh_v > base * (1.0 + band), band),
+            Class::HigherBetter(band) => (fresh_v < base * (1.0 - band), band),
+            Class::Exact => ((fresh_v - base).abs() > 1e-9, 0.0),
+        };
+        checked += 1;
+        if verdict {
+            eprintln!(
+                "sentinel: REGRESSION {path}: baseline {base}, fresh {fresh_v} \
+                 ({class:?}, band {:.0}%)",
+                band * 100.0
+            );
+            regressions += 1;
+        }
+    }
+    for (path, _) in &fresh_metrics {
+        if !base_metrics.iter().any(|(p, _)| p == path) {
+            eprintln!("sentinel: REGRESSION {path}: present in fresh, missing in baseline");
+            regressions += 1;
+        }
+    }
+
+    eprintln!(
+        "sentinel: {checked} metrics checked, {skipped} time metrics skipped, \
+         {regressions} regressions ({baseline_path} vs {fresh_path})"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("sentinel: OK");
+        ExitCode::SUCCESS
+    }
+}

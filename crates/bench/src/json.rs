@@ -1,0 +1,289 @@
+//! A minimal recursive-descent JSON parser for the bench artifacts.
+//!
+//! The workspace is dependency-free by policy, and the regression
+//! sentinel needs more than the `obs_check` key scanner: it diffs whole
+//! documents, so it walks real trees. This parser covers exactly the
+//! JSON the bench binaries emit (objects, arrays, numbers, strings with
+//! plain escapes, booleans, null) — not a general-purpose validator.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key order preserved — bench artifacts are hand-formatted and the
+    /// sentinel reports drift in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Every numeric leaf as `(dotted.path, value)`, depth-first in
+    /// document order. Array elements get their index as a segment.
+    pub fn flatten_numbers(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.walk(String::new(), &mut out);
+        out
+    }
+
+    fn walk(&self, path: String, out: &mut Vec<(String, f64)>) {
+        match self {
+            Value::Num(n) => out.push((path, *n)),
+            Value::Obj(members) => {
+                for (k, v) in members {
+                    let sub = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    v.walk(sub, out);
+                }
+            }
+            Value::Arr(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    v.walk(format!("{path}.{i}"), out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing whitespace allowed, trailing
+/// garbage is an error. Errors carry the byte offset.
+pub fn parse(doc: &str) -> Result<Value, String> {
+    let bytes = doc.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of document".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        members.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'u' => {
+                        // \uXXXX — the bench artifacts never emit
+                        // surrogate pairs, so the BMP decode suffices.
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            _ => {
+                // Re-decode multi-byte UTF-8 starting at c.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let chunk = b
+                    .get(start..start + len)
+                    .and_then(|ch| std::str::from_utf8(ch).ok())
+                    .ok_or_else(|| format!("invalid UTF-8 at byte {start}"))?;
+                s.push_str(chunk);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_shaped_document() {
+        let doc = r#"{
+  "bench": "throughput",
+  "queries": 10,
+  "sequential": {"wall_s": 0.123456, "qps": 81.003, "avg_ndc": 37.20, "avg_recall": 0.9750},
+  "speedup": 1.5,
+  "flags": [true, false, null],
+  "empty": {}
+}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("bench"), Some(&Value::Str("throughput".into())));
+        assert_eq!(v.get("queries").and_then(Value::as_f64), Some(10.0));
+        let seq = v.get("sequential").unwrap();
+        assert_eq!(seq.get("avg_recall").and_then(Value::as_f64), Some(0.975));
+        let flat = v.flatten_numbers();
+        assert!(flat.contains(&("sequential.avg_ndc".to_string(), 37.2)));
+        assert!(flat.contains(&("speedup".to_string(), 1.5)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{\"a\": 1} x").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let v = parse(r#"{"s": "a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(v.get("s"), Some(&Value::Str("a\"b\\c\ndA".into())));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let v = parse("[-1.5, 2e3, 0.001]").unwrap();
+        assert_eq!(
+            v.flatten_numbers(),
+            vec![
+                (".0".to_string(), -1.5),
+                (".1".to_string(), 2000.0),
+                (".2".to_string(), 0.001)
+            ]
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //! server, 42k–1M graph databases); EXPERIMENTS.md records what transfers:
 //! orderings, approximate speedup factors, and crossover locations.
 
+pub mod json;
+
 use lan_core::{LanConfig, LanIndex};
 use lan_datasets::{Dataset, DatasetSpec};
 use lan_models::ModelConfig;
@@ -138,9 +140,13 @@ pub fn k_for(scale: Scale) -> usize {
 }
 
 /// Finishes a bench run's observability outputs: the global metrics
-/// snapshot as `results/BENCH_obs.json` (+ `results/BENCH_obs.prom`), and
-/// — when `LAN_TRACE=route` — the buffered routing trace as
-/// `results/trace_<bench>.jsonl`.
+/// snapshot as `results/BENCH_obs.json` (+ `results/BENCH_obs.prom`);
+/// when `LAN_TRACE=route`, the buffered routing trace as
+/// `results/trace_<bench>.jsonl`; when `LAN_EXPLAIN=1`, the buffered
+/// per-query EXPLAIN plans as `results/explain_<bench>.jsonl`; and when
+/// `LAN_PROFILE=1`, the folded span-tree stacks as
+/// `results/PROFILE_<bench>.folded` (inferno/speedscope-compatible) plus
+/// a top-self-time table on stderr.
 ///
 /// `extra` entries (e.g. the run's independently summed `total_ndc`) are
 /// embedded at the top level of the JSON next to the metrics, so checkers
@@ -167,6 +173,21 @@ pub fn finish_obs(bench: &str, extra: &[(&str, u64)]) {
             Ok(n) => eprintln!("wrote {n} routing-trace events to {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+    }
+    if lan_obs::explain::enabled() {
+        let path = format!("results/explain_{bench}.jsonl");
+        match lan_obs::explain::write_jsonl(&path) {
+            Ok(n) => eprintln!("wrote {n} EXPLAIN plans to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if lan_obs::profile::enabled() {
+        let path = format!("results/PROFILE_{bench}.folded");
+        match lan_obs::profile::write_folded(&path) {
+            Ok(n) => eprintln!("wrote {n} folded stacks to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+        eprint!("{}", lan_obs::profile::format_top(10));
     }
 }
 

@@ -10,6 +10,7 @@ use crate::index::LanIndex;
 use lan_gnn::QuantMode;
 use lan_graph::Graph;
 use lan_models::{LearnedRanker, QuantPrefilter, QueryContext};
+use lan_obs::explain::{BudgetExplain, QueryExplain, SolveTier, TierCounts, TimelineEvent};
 use lan_obs::{names, span, TimerCell};
 use lan_pg::budget::{budgeted_get, BudgetCtx, Termination};
 use lan_pg::faults::{self, FaultMetrics, FaultPlan};
@@ -30,6 +31,17 @@ pub enum InitStrategy {
     RandIs,
 }
 
+impl InitStrategy {
+    /// Stable lowercase name used in EXPLAIN plans and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InitStrategy::LanIs => "lan_is",
+            InitStrategy::HnswIs => "hnsw_is",
+            InitStrategy::RandIs => "rand_is",
+        }
+    }
+}
+
 /// Routing strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteStrategy {
@@ -38,6 +50,17 @@ pub enum RouteStrategy {
     LanRoute { use_cg: bool },
     /// Algorithm 1 exhaustive beam search.
     HnswRoute,
+}
+
+impl RouteStrategy {
+    /// Stable lowercase name used in EXPLAIN plans and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteStrategy::LanRoute { use_cg: true } => "lan_route_cg",
+            RouteStrategy::LanRoute { use_cg: false } => "lan_route",
+            RouteStrategy::HnswRoute => "hnsw_route",
+        }
+    }
 }
 
 /// Everything measured about one query.
@@ -62,6 +85,17 @@ impl QueryOutcome {
     pub fn ids(&self) -> Vec<u32> {
         self.results.iter().map(|&(_, id)| id).collect()
     }
+}
+
+/// Stage-level measurements collected only when an EXPLAIN plan was
+/// requested; the plain search path never allocates one.
+#[derive(Default)]
+struct StageTrace {
+    init_ns: u64,
+    route_ns: u64,
+    cache_hits: u64,
+    hops: u64,
+    timeline: Vec<TimelineEvent>,
 }
 
 /// The per-query distance oracle: dataset GED behind the timing and
@@ -104,6 +138,27 @@ impl QueryDistance for DatasetOracle<'_> {
                 lan_ged::GedBound::Exact(d) => DistBound::Exact(d),
                 lan_ged::GedBound::AtLeast(lb) => DistBound::AtLeast(lb),
             })
+    }
+
+    fn distance_within_tiered(&self, id: u32, tau: f64) -> (DistBound, SolveTier) {
+        if self.fault_plan.is_some() {
+            // Faulted probes always run the primary computation end to end,
+            // so they are full solves by construction.
+            return (DistBound::Exact(self.distance(id)), SolveTier::FullSolve);
+        }
+        self.dist_timer.time(|| {
+            let (bound, outcome) = self.dataset.distance_within_outcome(self.q, id, tau);
+            let bound = match bound {
+                lan_ged::GedBound::Exact(d) => DistBound::Exact(d),
+                lan_ged::GedBound::AtLeast(lb) => DistBound::AtLeast(lb),
+            };
+            let tier = match outcome {
+                lan_ged::CascadeOutcome::LbPrune => SolveTier::LbPrune,
+                lan_ged::CascadeOutcome::TauAbort => SolveTier::TauAbort,
+                lan_ged::CascadeOutcome::FullSolve => SolveTier::FullSolve,
+            };
+            (bound, tier)
+        })
     }
 }
 
@@ -163,6 +218,96 @@ impl LanIndex {
         seed: u64,
         ctx: &BudgetCtx,
     ) -> QueryOutcome {
+        // The disabled path costs exactly one relaxed atomic load.
+        if lan_obs::explain::enabled() {
+            let (out, ex) = self.search_explain_budgeted(q, k, b, init, route, seed, ctx);
+            lan_obs::explain::emit(&ex);
+            return out;
+        }
+        self.search_core(q, k, b, init, route, seed, ctx, None).0
+    }
+
+    /// [`Self::search_with`] that additionally returns the query's EXPLAIN
+    /// plan: per-stage wall-clock, NDC decomposed by cascade tier, cache
+    /// hit counts, hops, and budget consumption. The plan is collected
+    /// unconditionally (no env gate) and nothing is emitted to the global
+    /// EXPLAIN ring — callers own the plan.
+    ///
+    /// Collection never perturbs the search: results, NDC, and exploration
+    /// are bit-identical to [`Self::search_with`].
+    pub fn search_explain(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+    ) -> (QueryOutcome, QueryExplain) {
+        self.search_explain_budgeted(q, k, b, init, route, seed, &BudgetCtx::unlimited())
+    }
+
+    /// [`Self::search_explain`] under a query budget ([`BudgetExplain`]
+    /// reports the limits and the NDC charged against the shared cap).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_explain_budgeted(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+    ) -> (QueryOutcome, QueryExplain) {
+        let tiers = TierCounts::default();
+        let (out, trace) = self.search_core(q, k, b, init, route, seed, ctx, Some(&tiers));
+        let trace = trace.expect("collecting search always produces a stage trace");
+        let limits = ctx.limits();
+        let ex = QueryExplain {
+            query: seed,
+            k,
+            b,
+            init: init.as_str().to_string(),
+            route: route.as_str().to_string(),
+            termination: out.termination.as_str().to_string(),
+            total_ns: out.total_time.as_nanos() as u64,
+            init_ns: trace.init_ns,
+            route_ns: trace.route_ns,
+            dist_ns: out.distance_time.as_nanos() as u64,
+            gnn_ns: out.gnn_time.as_nanos() as u64,
+            ndc: out.ndc as u64,
+            cache_hits: trace.cache_hits,
+            hops: trace.hops,
+            tiers: tiers.snapshot(),
+            budget: BudgetExplain {
+                max_ndc: limits.max_ndc.map(|v| v as u64),
+                deadline_ms: limits.deadline.map(|d| d.as_millis() as u64),
+                max_hops: limits.max_hops.map(|v| v as u64),
+                spent_ndc: ctx.spent() as u64,
+            },
+            timeline: trace.timeline,
+            shards: Vec::new(),
+        };
+        (out, ex)
+    }
+
+    /// The one search implementation behind every public entry point.
+    /// `tiers` switches EXPLAIN collection on: the distance cache routes
+    /// misses through the tier-attributing oracle path and per-stage
+    /// timings are kept. `None` is the plain search — zero collection.
+    #[allow(clippy::too_many_arguments)]
+    fn search_core(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        tiers: Option<&TierCounts>,
+    ) -> (QueryOutcome, Option<StageTrace>) {
         let t_start = Instant::now();
         let _q_span = span("query");
         lan_obs::counter(names::QUERY_COUNT).inc();
@@ -182,7 +327,11 @@ impl LanIndex {
             dist_timer: &dist_timer,
             fault_plan: &fault_plan,
         };
-        let cache = DistCache::new(&qd);
+        let cache = match tiers {
+            Some(t) => DistCache::new(&qd).with_explain(t),
+            None => DistCache::new(&qd),
+        };
+        let mut stage_trace = tiers.map(|_| StageTrace::default());
 
         let use_cg = match route {
             RouteStrategy::LanRoute { use_cg } => use_cg,
@@ -194,6 +343,7 @@ impl LanIndex {
         let qctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
 
         // --- Initial node selection. ---
+        let init_t0 = Instant::now();
         let init_span = span("query.init");
         let entries: Vec<u32> = match init {
             InitStrategy::HnswIs => vec![self.pg.hnsw_entry_budgeted(&cache, ctx)],
@@ -240,8 +390,17 @@ impl LanIndex {
         };
 
         drop(init_span);
+        if let Some(tr) = stage_trace.as_mut() {
+            tr.init_ns = init_t0.elapsed().as_nanos() as u64;
+            tr.timeline.push(TimelineEvent {
+                stage: "init".to_string(),
+                ndc: cache.ndc() as u64,
+                elapsed_ns: t_start.elapsed().as_nanos() as u64,
+            });
+        }
 
         // --- Routing. ---
+        let route_t0 = Instant::now();
         let route_span = span("query.route");
         let route_result = match route {
             RouteStrategy::HnswRoute => {
@@ -265,6 +424,16 @@ impl LanIndex {
             }
         };
         drop(route_span);
+        if let Some(tr) = stage_trace.as_mut() {
+            tr.route_ns = route_t0.elapsed().as_nanos() as u64;
+            tr.timeline.push(TimelineEvent {
+                stage: "route".to_string(),
+                ndc: cache.ndc() as u64,
+                elapsed_ns: t_start.elapsed().as_nanos() as u64,
+            });
+            tr.cache_hits = cache.hits() as u64;
+            tr.hops = route_result.exploration_order.len() as u64;
+        }
 
         drop(cache);
         // The recorded cause is the primary outcome: it covers init-phase
@@ -287,14 +456,15 @@ impl LanIndex {
             .as_ref()
             .map(|c| c.gnn_time())
             .unwrap_or(Duration::ZERO);
-        QueryOutcome {
+        let outcome = QueryOutcome {
             results: route_result.results,
             ndc: route_result.ndc,
             total_time: t_start.elapsed(),
             distance_time,
             gnn_time,
             termination,
-        }
+        };
+        (outcome, stage_trace)
     }
 
     /// The per-query routing prefilter under the configured quantized

@@ -12,6 +12,7 @@ use crate::index::{LanConfig, LanIndex};
 use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
 use lan_datasets::{Dataset, DatasetSpec, WorkloadSplit};
 use lan_graph::Graph;
+use lan_obs::explain::{BudgetExplain, QueryExplain, TierBreakdown, TimelineEvent};
 use lan_pg::budget::{BudgetCtx, QueryBudget, Termination};
 use std::time::Instant;
 
@@ -124,6 +125,11 @@ impl ShardedLanIndex {
         seed: u64,
         budget: &QueryBudget,
     ) -> QueryOutcome {
+        if lan_obs::explain::enabled() {
+            let (out, ex) = self.search_explain_budgeted(q, k, b, init, route, seed, budget);
+            lan_obs::explain::emit(&ex);
+            return out;
+        }
         let t0 = Instant::now();
         let ctx = BudgetCtx::new(budget);
         let mut per_shard: Vec<QueryOutcome> = Vec::with_capacity(self.shards.len());
@@ -134,6 +140,61 @@ impl ShardedLanIndex {
             per_shard.push(shard.search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx));
         }
         self.merge(per_shard, k, t0, ctx.termination())
+    }
+
+    /// [`ShardedLanIndex::search`] that additionally returns the merged
+    /// EXPLAIN plan: one sub-plan per searched shard (skipped shards are
+    /// absent), tier/NDC/hit counts summed, and a `shard.N` timeline entry
+    /// per shard giving the cumulative query NDC and the global wall-clock
+    /// offset at which that shard finished.
+    pub fn search_explain(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+    ) -> (QueryOutcome, QueryExplain) {
+        self.search_explain_budgeted(q, k, b, init, route, seed, &QueryBudget::unlimited())
+    }
+
+    /// [`ShardedLanIndex::search_explain`] under a query budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_explain_budgeted(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        budget: &QueryBudget,
+    ) -> (QueryOutcome, QueryExplain) {
+        let t0 = Instant::now();
+        let ctx = BudgetCtx::new(budget);
+        let mut per_shard: Vec<QueryOutcome> = Vec::with_capacity(self.shards.len());
+        let mut plans: Vec<QueryExplain> = Vec::with_capacity(self.shards.len());
+        let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(self.shards.len());
+        let mut ndc_so_far = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if ctx.cancelled() {
+                break;
+            }
+            let (out, ex) =
+                shard.search_explain_budgeted(q, k, b, init, route, seed ^ s as u64, &ctx);
+            ndc_so_far += ex.ndc;
+            timeline.push(TimelineEvent {
+                stage: format!("shard.{s}"),
+                ndc: ndc_so_far,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+            plans.push(ex);
+            per_shard.push(out);
+        }
+        let merged = self.merge(per_shard, k, t0, ctx.termination());
+        let ex = merged_explain(&merged, k, b, init, route, seed, &ctx, plans, timeline);
+        (merged, ex)
     }
 
     /// Parallel k-ANN: every shard searched concurrently, merged exactly
@@ -175,6 +236,11 @@ impl ShardedLanIndex {
         seed: u64,
         budget: &QueryBudget,
     ) -> QueryOutcome {
+        if lan_obs::explain::enabled() {
+            let (out, ex) = self.search_par_explain_budgeted(q, k, b, init, route, seed, budget);
+            lan_obs::explain::emit(&ex);
+            return out;
+        }
         let t0 = Instant::now();
         let ctx = BudgetCtx::new(budget);
         let idx: Vec<usize> = (0..self.shards.len()).collect();
@@ -186,6 +252,62 @@ impl ShardedLanIndex {
             self.shards[s].search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx)
         });
         self.merge(per_shard, k, t0, ctx.termination())
+    }
+
+    /// [`ShardedLanIndex::search_par`] that additionally returns the
+    /// merged EXPLAIN plan. Shards overlap in time under the parallel
+    /// fan-out, so each `shard.N` timeline entry reports that shard's own
+    /// wall-clock (its sub-plan `total_ns`) rather than a global offset;
+    /// the cumulative NDC is accumulated in shard order.
+    pub fn search_par_explain(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+    ) -> (QueryOutcome, QueryExplain) {
+        self.search_par_explain_budgeted(q, k, b, init, route, seed, &QueryBudget::unlimited())
+    }
+
+    /// [`ShardedLanIndex::search_par_explain`] under a query budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_par_explain_budgeted(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        budget: &QueryBudget,
+    ) -> (QueryOutcome, QueryExplain) {
+        let t0 = Instant::now();
+        let ctx = BudgetCtx::new(budget);
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        let traced = lan_obs::trace::active_query();
+        let pairs: Vec<(QueryOutcome, QueryExplain)> = lan_par::par_map(&idx, |&s| {
+            let _t = lan_obs::trace::propagate(traced);
+            self.shards[s].search_explain_budgeted(q, k, b, init, route, seed ^ s as u64, &ctx)
+        });
+        let mut per_shard: Vec<QueryOutcome> = Vec::with_capacity(pairs.len());
+        let mut plans: Vec<QueryExplain> = Vec::with_capacity(pairs.len());
+        let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(pairs.len());
+        let mut ndc_so_far = 0u64;
+        for (s, (out, ex)) in pairs.into_iter().enumerate() {
+            ndc_so_far += ex.ndc;
+            timeline.push(TimelineEvent {
+                stage: format!("shard.{s}"),
+                ndc: ndc_so_far,
+                elapsed_ns: ex.total_ns,
+            });
+            plans.push(ex);
+            per_shard.push(out);
+        }
+        let merged = self.merge(per_shard, k, t0, ctx.termination());
+        let ex = merged_explain(&merged, k, b, init, route, seed, &ctx, plans, timeline);
+        (merged, ex)
     }
 
     /// Merges per-shard outcomes (ordered by shard index) into one global
@@ -226,6 +348,63 @@ impl ShardedLanIndex {
             gnn_time,
             termination,
         }
+    }
+}
+
+/// Assembles the fan-out's merged EXPLAIN plan: counts (NDC, hits, hops,
+/// tiers) and the init/route/distance/GNN time components are summed
+/// across the per-shard sub-plans (CPU time under the parallel fan-out),
+/// `total_ns` is the true wall-clock of the whole fan-out, and the
+/// sub-plans themselves ride along under `shards`.
+#[allow(clippy::too_many_arguments)]
+fn merged_explain(
+    merged: &QueryOutcome,
+    k: usize,
+    b: usize,
+    init: InitStrategy,
+    route: RouteStrategy,
+    seed: u64,
+    ctx: &BudgetCtx,
+    plans: Vec<QueryExplain>,
+    timeline: Vec<TimelineEvent>,
+) -> QueryExplain {
+    let mut tiers = TierBreakdown::default();
+    let mut init_ns = 0u64;
+    let mut route_ns = 0u64;
+    let mut cache_hits = 0u64;
+    let mut hops = 0u64;
+    for p in &plans {
+        tiers.accumulate(&p.tiers);
+        init_ns += p.init_ns;
+        route_ns += p.route_ns;
+        cache_hits += p.cache_hits;
+        hops += p.hops;
+    }
+    let limits = ctx.limits();
+    QueryExplain {
+        query: seed,
+        k,
+        b,
+        init: init.as_str().to_string(),
+        route: route.as_str().to_string(),
+        termination: merged.termination.as_str().to_string(),
+        total_ns: merged.total_time.as_nanos() as u64,
+        init_ns,
+        route_ns,
+        dist_ns: merged.distance_time.as_nanos() as u64,
+        gnn_ns: merged.gnn_time.as_nanos() as u64,
+        ndc: merged.ndc as u64,
+        cache_hits,
+        hops,
+        tiers,
+        budget: BudgetExplain {
+            max_ndc: limits.max_ndc.map(|v| v as u64),
+            deadline_ms: limits.deadline.map(|d| d.as_millis() as u64),
+            max_hops: limits.max_hops.map(|v| v as u64),
+            spent_ndc: ctx.spent() as u64,
+        },
+        timeline,
+        shards: plans,
     }
 }
 

@@ -151,13 +151,28 @@ impl Dataset {
     /// operational distance too, so the cascade stays admissible for every
     /// [`lan_ged::GedMethod`].
     pub fn distance_within(&self, q: &Graph, id: u32, tau: f64) -> lan_ged::GedBound {
-        match lan_ged::ged_within(q, &self.graphs[id as usize], tau, &self.spec.metric) {
+        self.distance_within_outcome(q, id, tau).0
+    }
+
+    /// [`Self::distance_within`] plus the [`lan_ged::CascadeOutcome`] that
+    /// settled the call (per-query EXPLAIN attribution). A timeout
+    /// fallback ran a full approximate solve, so it reports `FullSolve`.
+    pub fn distance_within_outcome(
+        &self,
+        q: &Graph,
+        id: u32,
+        tau: f64,
+    ) -> (lan_ged::GedBound, lan_ged::CascadeOutcome) {
+        match lan_ged::ged_within_outcome(q, &self.graphs[id as usize], tau, &self.spec.metric) {
             Some(b) => b,
             None => {
                 lan_obs::counter(lan_obs::names::GED_TIMEOUT_FALLBACK).inc();
-                lan_ged::GedBound::Exact(
-                    ged(q, &self.graphs[id as usize], &self.fallback_metric())
-                        .expect("BestOfThree is total"),
+                (
+                    lan_ged::GedBound::Exact(
+                        ged(q, &self.graphs[id as usize], &self.fallback_metric())
+                            .expect("BestOfThree is total"),
+                    ),
+                    lan_ged::CascadeOutcome::FullSolve,
                 )
             }
         }

@@ -88,6 +88,21 @@ impl GedBound {
     }
 }
 
+/// Which cascade tier settled a threshold-gated evaluation
+/// ([`ged_within_outcome`]) — the per-call form of the global
+/// `ged.lb_prune` / `ged.early_abort` / `ged.full_evals` counters, used
+/// by the per-query EXPLAIN attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeOutcome {
+    /// A signature lower bound (label/size or degree-sequence) reached
+    /// `tau`; no solver ran.
+    LbPrune,
+    /// The branch-and-bound A\* aborted once every branch reached `tau`.
+    TauAbort,
+    /// A solver ran to completion (including the ungated `tau = ∞` path).
+    FullSolve,
+}
+
 /// Threshold-gated GED: resolves whether `d(g1, g2) < tau` without always
 /// paying for a full evaluation.
 ///
@@ -110,19 +125,31 @@ impl GedBound {
 /// (A\* aborted on the threshold), `ged.full_evals` (a solver ran to
 /// completion).
 pub fn ged_within(g1: &Graph, g2: &Graph, tau: f64, method: &GedMethod) -> Option<GedBound> {
+    ged_within_outcome(g1, g2, tau, method).map(|(b, _)| b)
+}
+
+/// [`ged_within`] plus the [`CascadeOutcome`] that settled the call —
+/// the hook per-query EXPLAIN attribution builds on. Identical gating,
+/// bounds, and counter behavior.
+pub fn ged_within_outcome(
+    g1: &Graph,
+    g2: &Graph,
+    tau: f64,
+    method: &GedMethod,
+) -> Option<(GedBound, CascadeOutcome)> {
     if !tau.is_finite() {
-        return ged(g1, g2, method).map(GedBound::Exact);
+        return ged(g1, g2, method).map(|d| (GedBound::Exact(d), CascadeOutcome::FullSolve));
     }
     let (full, lb_prune, early_abort) = *counters();
     let lb1 = label_size_lb(g1, g2);
     if lb1 >= tau {
         lb_prune.inc();
-        return Some(GedBound::AtLeast(lb1));
+        return Some((GedBound::AtLeast(lb1), CascadeOutcome::LbPrune));
     }
     let lb2 = label_degree_lb(g1, g2);
     if lb2 >= tau {
         lb_prune.inc();
-        return Some(GedBound::AtLeast(lb2));
+        return Some((GedBound::AtLeast(lb2), CascadeOutcome::LbPrune));
     }
     match method {
         GedMethod::Exact { timeout_ms } => {
@@ -133,16 +160,16 @@ pub fn ged_within(g1: &Graph, g2: &Graph, tau: f64, method: &GedMethod) -> Optio
             match exact_ged_within(g1, g2, &limits, tau) {
                 ExactWithin::Optimal { distance, .. } => {
                     full.inc();
-                    Some(GedBound::Exact(distance))
+                    Some((GedBound::Exact(distance), CascadeOutcome::FullSolve))
                 }
                 ExactWithin::AtLeast(lb) => {
                     early_abort.inc();
-                    Some(GedBound::AtLeast(lb.max(lb2)))
+                    Some((GedBound::AtLeast(lb.max(lb2)), CascadeOutcome::TauAbort))
                 }
                 ExactWithin::TimedOut => None,
             }
         }
-        m => ged(g1, g2, m).map(GedBound::Exact),
+        m => ged(g1, g2, m).map(|d| (GedBound::Exact(d), CascadeOutcome::FullSolve)),
     }
 }
 

@@ -42,6 +42,9 @@ pub mod mapping;
 pub mod mcs;
 pub mod scratch;
 
-pub use engine::{ged, ged_within, ground_truth_ged, GedBound, GedMethod, GroundTruthConfig};
+pub use engine::{
+    ged, ged_within, ged_within_outcome, ground_truth_ged, CascadeOutcome, GedBound, GedMethod,
+    GroundTruthConfig,
+};
 pub use mapping::{mapping_cost, NodeMapping};
 pub use scratch::GedScratch;

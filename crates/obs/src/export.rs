@@ -5,7 +5,7 @@
 //! separators internally; the Prometheus exporter rewrites them to `_` to
 //! satisfy the exposition-format name charset.
 
-use crate::metrics::{bucket_upper_bound, Snapshot};
+use crate::metrics::{bucket_upper_bound, Snapshot, HISTOGRAM_BUCKETS};
 use std::fmt::Write;
 
 /// A metric name sanitized for Prometheus (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
@@ -37,29 +37,49 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Snapshot {
-    /// Prometheus text exposition format: counters and gauges as-is,
-    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` /
-    /// `_count`.
+    /// Prometheus text exposition format, conformant enough for a real
+    /// Prometheus server to scrape:
+    ///
+    /// * counters follow the `_total`-suffix naming convention, with
+    ///   `# HELP` / `# TYPE` metadata;
+    /// * histograms emit the **complete** cumulative `_bucket{le=...}`
+    ///   series over every log2 boundary (not just the non-empty bins) so
+    ///   the bucket schema is identical from scrape to scrape, ending in
+    ///   the mandatory `le="+Inf"` bucket that equals `_count`, plus
+    ///   `_sum` / `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
             let n = prom_name(name);
-            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+            let _ = writeln!(
+                out,
+                "# HELP {n}_total LAN counter '{name}'\n# TYPE {n}_total counter\n{n}_total {v}"
+            );
         }
         for (name, v) in &self.gauges {
             let n = prom_name(name);
-            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+            let _ = writeln!(
+                out,
+                "# HELP {n} LAN gauge '{name}'\n# TYPE {n} gauge\n{n} {v}"
+            );
         }
         for (name, h) in &self.histograms {
             let n = prom_name(name);
-            let _ = writeln!(out, "# TYPE {n} histogram");
-            let mut cumulative = 0u64;
+            let _ = writeln!(
+                out,
+                "# HELP {n} LAN log2-bucketed histogram '{name}'\n# TYPE {n} histogram"
+            );
+            let mut by_index = [0u64; HISTOGRAM_BUCKETS];
             for &(i, c) in &h.buckets {
+                by_index[i as usize] = c;
+            }
+            let mut cumulative = 0u64;
+            for (i, &c) in by_index.iter().enumerate() {
                 cumulative += c;
                 let _ = writeln!(
                     out,
                     "{n}_bucket{{le=\"{}\"}} {cumulative}",
-                    bucket_upper_bound(i as usize)
+                    bucket_upper_bound(i)
                 );
             }
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
@@ -69,8 +89,8 @@ impl Snapshot {
     }
 
     /// JSON object with `counters`, `gauges`, and `histograms` maps.
-    /// Histograms carry `count`, `sum`, `mean`, and sparse `buckets` as
-    /// `[upper_bound, count]` pairs.
+    /// Histograms carry `count`, `sum`, `mean`, `p50`/`p95`/`p99`
+    /// estimates, and sparse `buckets` as `[upper_bound, count]` pairs.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         let mut first = true;
@@ -97,11 +117,15 @@ impl Snapshot {
                 .collect();
             let _ = write!(
                 out,
-                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"buckets\": [{}]}}",
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
+                 \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"buckets\": [{}]}}",
                 json_escape(name),
                 h.count,
                 h.sum,
                 h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 buckets.join(", ")
             );
             first = false;
@@ -134,13 +158,27 @@ mod tests {
     #[test]
     fn prometheus_format() {
         let text = sample().to_prometheus();
-        assert!(text.contains("# TYPE ged_calls counter"));
-        assert!(text.contains("ged_calls 42"));
+        // Counters: `_total` convention with HELP/TYPE metadata.
+        assert!(text.contains("# HELP ged_calls_total LAN counter 'ged.calls'"));
+        assert!(text.contains("# TYPE ged_calls_total counter"));
+        assert!(text.contains("ged_calls_total 42"));
+        assert!(text.contains("# TYPE pool_size gauge"));
         assert!(text.contains("pool_size -3"));
+        // Histograms: complete cumulative bucket series (empty boundaries
+        // included) ending in the mandatory +Inf bucket == _count.
+        assert!(text.contains("# TYPE span_query_ns histogram"));
+        assert!(text.contains("span_query_ns_bucket{le=\"0\"} 0"));
         assert!(text.contains("span_query_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("span_query_ns_bucket{le=\"3\"} 1"));
         assert!(text.contains("span_query_ns_bucket{le=\"7\"} 3"));
         assert!(text.contains("span_query_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("span_query_ns_sum 10"));
         assert!(text.contains("span_query_ns_count 3"));
+        // One bucket line per boundary plus +Inf.
+        assert_eq!(
+            text.matches("span_query_ns_bucket{le=").count(),
+            crate::metrics::HISTOGRAM_BUCKETS + 1
+        );
     }
 
     #[test]
@@ -149,6 +187,9 @@ mod tests {
         assert!(json.contains("\"ged.calls\": 42"));
         assert!(json.contains("\"pool.size\": -3"));
         assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"p50\": "));
+        assert!(json.contains("\"p95\": "));
+        assert!(json.contains("\"p99\": "));
         assert!(json.contains("[7, 2]"));
         // Balanced braces (rough structural sanity).
         assert_eq!(

@@ -24,7 +24,11 @@
 //!
 //! * `LAN_METRICS` — `0`/`off`/`false` disables the registry (default on);
 //! * `LAN_TRACE` — `route` (or `1`/`all`) enables the routing trace;
-//! * `LAN_TRACE_SAMPLE` — trace every N-th query id (default 1 = all).
+//! * `LAN_TRACE_SAMPLE` — trace every N-th query id (default 1 = all);
+//! * `LAN_EXPLAIN` — `1`/`on`/`jsonl` collects a per-query EXPLAIN plan
+//!   (JSONL ring buffer; see [`explain`]);
+//! * `LAN_PROFILE` — `1`/`on` aggregates span self-time by stack path
+//!   into folded-stack output (see [`profile`]).
 //!
 //! # Quick tour
 //!
@@ -42,8 +46,10 @@
 //! println!("{}", delta.to_json());
 //! ```
 
+pub mod explain;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod trace;
 
@@ -137,6 +143,13 @@ pub mod names {
     pub const QUANT_KERNEL_SCALAR: &str = "quant.kernel.scalar";
     /// Routing-trace events dropped because the ring buffer was full.
     pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// Per-query EXPLAIN plans collected (`LAN_EXPLAIN=1`).
+    pub const EXPLAIN_QUERIES: &str = "explain.queries";
+    /// EXPLAIN plans dropped because the ring buffer was full.
+    pub const EXPLAIN_DROPPED: &str = "explain.dropped";
+    /// Span occurrences folded into the self-time profiler
+    /// (`LAN_PROFILE=1`).
+    pub const PROFILE_SPANS: &str = "profile.spans";
 
     /// Per-shard NDC counter name (`shard.{i}.ndc`).
     pub fn shard_ndc(shard: usize) -> String {

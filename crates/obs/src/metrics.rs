@@ -123,6 +123,15 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Lower bound (inclusive) of bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 /// Log2-bucketed histogram. `sum` wraps on overflow (only reachable by
 /// recording near-`u64::MAX` values; `count` stays exact either way).
 #[derive(Debug)]
@@ -211,6 +220,48 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) assuming observations are
+    /// uniform within each log2 bucket (linear interpolation between the
+    /// bucket bounds). Exact to within one bucket width; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for &(i, n) in &self.buckets {
+            let before = cumulative as f64;
+            cumulative += n;
+            if cumulative as f64 >= target {
+                let lo = bucket_lower_bound(i as usize) as f64;
+                let hi = bucket_upper_bound(i as usize) as f64;
+                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; fall back to the
+        // highest recorded bound for defensively-constructed snapshots.
+        self.buckets
+            .last()
+            .map(|&(i, _)| bucket_upper_bound(i as usize) as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -435,6 +486,44 @@ mod tests {
             if i > 0 {
                 assert!(v > bucket_upper_bound(i - 1));
             }
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations of 0 → every quantile is 0.
+        let zeros = HistogramSnapshot {
+            count: 100,
+            sum: 0,
+            buckets: vec![(0, 100)],
+        };
+        assert_eq!(zeros.p50(), 0.0);
+        assert_eq!(zeros.p99(), 0.0);
+
+        // 90 in bucket 1 (value 1) and 10 in bucket 4 ([8, 15]): the
+        // median sits in bucket 1, p99 inside bucket 4.
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 90 + 10 * 12,
+            buckets: vec![(1, 90), (4, 10)],
+        };
+        assert_eq!(h.p50(), 1.0);
+        let p99 = h.p99();
+        assert!((8.0..=15.0).contains(&p99), "p99 = {p99}");
+        assert!(h.p95() <= p99);
+        assert_eq!(h.quantile(1.0), 15.0);
+
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p95(), 0.0);
+    }
+
+    #[test]
+    fn bucket_lower_bounds_partition() {
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(4), 8);
+        for i in 1..=64 {
+            assert_eq!(bucket_lower_bound(i), bucket_upper_bound(i - 1) + 1);
         }
     }
 

@@ -65,7 +65,22 @@ impl Drop for SpanGuard {
             if let Some(parent) = stack.last_mut() {
                 parent.child_nanos = parent.child_nanos.saturating_add(total);
             }
+            // With `LAN_PROFILE` on, fold this occurrence into the
+            // profiler under its full stack path (ancestors still on the
+            // stack + this frame); one relaxed load otherwise.
+            let profile_path = crate::profile::enabled().then(|| {
+                let mut path = String::with_capacity(64);
+                for f in stack.iter() {
+                    path.push_str(f.name);
+                    path.push(';');
+                }
+                path.push_str(frame.name);
+                path
+            });
             drop(stack);
+            if let Some(path) = profile_path {
+                crate::profile::record(path, self_ns, total);
+            }
             histogram(&format!("span.{}.ns", frame.name)).record(total);
             histogram(&format!("span.{}.self_ns", frame.name)).record(self_ns);
         });

@@ -245,6 +245,12 @@ pub fn write_jsonl(path: &str) -> std::io::Result<usize> {
     Ok(lines.len())
 }
 
+/// Pre-registers the trace metric families so exports list them
+/// (zero-valued) even before the ring ever overflows.
+pub fn register_schema() {
+    let _ = crate::counter(names::TRACE_DROPPED);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

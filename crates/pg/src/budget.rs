@@ -150,6 +150,10 @@ pub struct BudgetCtx {
     /// First recorded termination cause (CAS; the winner also bumps the
     /// corresponding `budget.*` metric exactly once per query).
     cause: AtomicU8,
+    /// The declared budget, kept verbatim for reporting (EXPLAIN plans
+    /// need the original limits, e.g. the deadline as a duration rather
+    /// than the derived `Instant`).
+    limits: QueryBudget,
 }
 
 impl BudgetCtx {
@@ -163,6 +167,7 @@ impl BudgetCtx {
             spent: AtomicUsize::new(0),
             cancel: AtomicBool::new(false),
             cause: AtomicU8::new(CAUSE_NONE),
+            limits: budget.clone(),
         }
     }
 
@@ -180,6 +185,11 @@ impl BudgetCtx {
     /// The hop cap (usize::MAX when unbounded).
     pub fn max_hops(&self) -> usize {
         self.max_hops
+    }
+
+    /// The budget this context was created from, verbatim (reporting).
+    pub fn limits(&self) -> &QueryBudget {
+        &self.limits
     }
 
     /// Distance computations reserved so far across all shards.

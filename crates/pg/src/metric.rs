@@ -16,6 +16,7 @@
 //! winner's cached value. Distinct keys almost always land on distinct
 //! stripes and compute truly concurrently.
 
+use lan_obs::explain::{SolveTier, TierCounts};
 use lan_obs::{names, Counter};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -84,6 +85,23 @@ pub trait QueryDistance: Sync {
         let _ = tau;
         DistBound::Exact(self.distance(id))
     }
+
+    /// [`Self::distance_within`] plus the cascade tier that settled the
+    /// call, for per-query EXPLAIN attribution. Only consulted when the
+    /// wrapping [`DistCache`] carries an explain sink; the returned bound
+    /// **must** equal [`Self::distance_within`] bit for bit so explain
+    /// collection never perturbs results. The default classifies by
+    /// shape — `Exact` means a full metric ran, `AtLeast` means a lower
+    /// bound settled it — which is correct for the default
+    /// `distance_within` and a sound approximation for custom oracles;
+    /// `lan-core`'s `DatasetOracle` overrides it with the kernel
+    /// cascade's precise per-call outcome.
+    fn distance_within_tiered(&self, id: u32, tau: f64) -> (DistBound, SolveTier) {
+        match self.distance_within(id, tau) {
+            b @ DistBound::Exact(_) => (b, SolveTier::FullSolve),
+            b @ DistBound::AtLeast(_) => (b, SolveTier::LbPrune),
+        }
+    }
 }
 
 impl<F: Fn(u32) -> f64 + Sync> QueryDistance for F {
@@ -119,6 +137,12 @@ pub struct DistCache<'a> {
     ndc: AtomicUsize,
     hits: AtomicUsize,
     metrics: Option<CacheMetrics>,
+    /// Per-query EXPLAIN tier sink. When set, every miss — and only a
+    /// miss — notes the cascade tier that settled it, so the sink's
+    /// attributed total equals `ndc()` by construction (hits and silent
+    /// bound refinements note nothing; the reconciliation contract in
+    /// `lan_obs::explain`).
+    explain: Option<&'a TierCounts>,
 }
 
 impl<'a> DistCache<'a> {
@@ -150,6 +174,26 @@ impl<'a> DistCache<'a> {
             ndc: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             metrics,
+            explain: None,
+        }
+    }
+
+    /// Attaches a per-query EXPLAIN tier sink (see the `explain` field).
+    /// Attribution is observation-only: results, NDC, and hit counts stay
+    /// bit-identical with or without a sink.
+    pub fn with_explain(mut self, tiers: &'a TierCounts) -> Self {
+        self.explain = Some(tiers);
+        self
+    }
+
+    /// Notes a routing candidate the quantized prefilter skipped (a
+    /// distance computation that never ran) into the explain sink, if one
+    /// is attached. The router calls this next to the global
+    /// `quant.prefilter.pruned` counter.
+    #[inline]
+    pub fn note_quant_skip(&self) {
+        if let Some(t) = self.explain {
+            t.note_quant_skip();
         }
     }
 
@@ -164,8 +208,11 @@ impl<'a> DistCache<'a> {
         }
     }
 
-    fn count_miss(&self) {
+    fn count_miss(&self, tier: SolveTier) {
         self.ndc.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.explain {
+            t.note_solve(tier);
+        }
         if let Some(m) = &self.metrics {
             m.miss.inc();
             m.calls.inc();
@@ -193,7 +240,7 @@ impl<'a> DistCache<'a> {
             Entry::Vacant(e) => {
                 let d = self.inner.distance(id);
                 e.insert(DistBound::Exact(d));
-                self.count_miss();
+                self.count_miss(SolveTier::FullSolve);
                 d
             }
         }
@@ -220,17 +267,28 @@ impl<'a> DistCache<'a> {
                 }
             }
             Entry::Vacant(e) => {
-                let b = match self.inner.distance_within(id, gamma.max(gate)) {
+                // Ask for the per-call tier only when a sink will consume
+                // it; both arms produce bit-identical bounds.
+                let (b, tier) = match self.explain {
+                    Some(_) => self.inner.distance_within_tiered(id, gamma.max(gate)),
+                    None => (
+                        self.inner.distance_within(id, gamma.max(gate)),
+                        SolveTier::FullSolve,
+                    ),
+                };
+                let (b, tier) = match b {
                     // A bound that only *ties* the gate cannot settle the
                     // candidate (the pool breaks distance ties by id);
-                    // refine it on the spot.
-                    DistBound::AtLeast(lb) if !prunes(lb, gamma, gate) => {
-                        DistBound::Exact(self.inner.distance(id))
-                    }
-                    b => b,
+                    // refine it on the spot. The miss's final state is a
+                    // full solve, so that's its attribution.
+                    DistBound::AtLeast(lb) if !prunes(lb, gamma, gate) => (
+                        DistBound::Exact(self.inner.distance(id)),
+                        SolveTier::FullSolve,
+                    ),
+                    b => (b, tier),
                 };
                 e.insert(b);
-                self.count_miss();
+                self.count_miss(tier);
                 b
             }
         }
@@ -538,6 +596,65 @@ mod tests {
         let cache = DistCache::new(&o);
         assert_eq!(cache.get_within(0, 5.0, 7.0), DistBound::Exact(7.5));
         assert_eq!(cache.ndc(), 1);
+    }
+
+    #[test]
+    fn explain_sink_attributes_each_miss_exactly_once() {
+        let o = GatedOracle::new(vec![9.0, 2.0, 5.0], vec![7.0, 1.0, 4.0]);
+        let tiers = TierCounts::default();
+        let cache = DistCache::new(&o).with_explain(&tiers);
+        // Miss settled by a bound -> LbPrune (the default tiered
+        // classifier maps AtLeast answers there).
+        assert_eq!(cache.get_within(0, 5.0, 6.0), DistBound::AtLeast(7.0));
+        // Miss solved fully.
+        assert_eq!(cache.get_within(1, 5.0, 6.0), DistBound::Exact(2.0));
+        // Plain get miss -> FullSolve.
+        assert_eq!(cache.get(2), 5.0);
+        // Hit + stale-bound refine notes nothing (first-touch
+        // attribution keeps the sum equal to NDC).
+        assert_eq!(cache.get_within(0, 5.0, 8.0), DistBound::Exact(9.0));
+        // Silent peek refines note nothing either.
+        assert_eq!(cache.peek(0), Some(9.0));
+        cache.note_quant_skip();
+        let b = tiers.snapshot();
+        assert_eq!(b.lb_prunes, 1);
+        assert_eq!(b.full_solves, 2);
+        assert_eq!(b.tau_aborts, 0);
+        assert_eq!(b.quant_skips, 1);
+        assert_eq!(b.attributed(), cache.ndc() as u64);
+    }
+
+    #[test]
+    fn gate_tying_refine_attributes_as_full_solve() {
+        let o = GatedOracle::new(vec![7.5], vec![7.0]);
+        let tiers = TierCounts::default();
+        let cache = DistCache::new(&o).with_explain(&tiers);
+        // lb ties the gate -> refined on the spot; the miss's final state
+        // is a full solve.
+        assert_eq!(cache.get_within(0, 5.0, 7.0), DistBound::Exact(7.5));
+        let b = tiers.snapshot();
+        assert_eq!((b.lb_prunes, b.full_solves), (0, 1));
+        assert_eq!(b.attributed(), cache.ndc() as u64);
+    }
+
+    #[test]
+    fn explain_sink_never_perturbs_results_or_counts() {
+        let o1 = GatedOracle::new(vec![9.0, 2.0, 7.5], vec![7.0, 1.0, 7.0]);
+        let o2 = GatedOracle::new(vec![9.0, 2.0, 7.5], vec![7.0, 1.0, 7.0]);
+        let tiers = TierCounts::default();
+        let plain = DistCache::new(&o1);
+        let explained = DistCache::new(&o2).with_explain(&tiers);
+        for (gamma, gate) in [(5.0, 6.0), (5.0, 7.0), (8.0, 6.0)] {
+            for id in 0..3u32 {
+                assert_eq!(
+                    plain.get_within(id, gamma, gate),
+                    explained.get_within(id, gamma, gate)
+                );
+            }
+        }
+        assert_eq!(plain.ndc(), explained.ndc());
+        assert_eq!(plain.hits(), explained.hits());
+        assert_eq!(tiers.snapshot().attributed(), explained.ndc() as u64);
     }
 
     #[test]

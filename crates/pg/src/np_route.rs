@@ -232,7 +232,14 @@ impl<'a, R: NeighborRanker> NpRouter<'a, R> {
         if !tau.is_finite() || self.cache.peek_bound(nb).is_some() {
             return false;
         }
-        pf.predict_beyond(nb, tau)
+        let skip = pf.predict_beyond(nb, tau);
+        if skip {
+            // Mirror the global `quant.prefilter.pruned` counter into the
+            // query's EXPLAIN tier sink (skip *events*, like the global
+            // counter — escalated-γ rounds may re-skip a candidate).
+            self.cache.note_quant_skip();
+        }
+        skip
     }
 
     /// Resizes the pool and refreshes the cascade gate — every resize must
