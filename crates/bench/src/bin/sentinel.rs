@@ -51,10 +51,16 @@ fn classify(path: &str) -> Class {
         "build_s",
         "host_threads",
         "lan_threads",
+        // Bare time leaves (e.g. a curve point's "us": 431503).
+        "us",
+        "ms",
+        "ns",
     ]
     .contains(&leaf)
         || leaf.ends_with("_us")
-        || leaf.ends_with("_ms");
+        || leaf.ends_with("_ms")
+        || leaf.ends_with("_ns")
+        || leaf.ends_with("_s");
     if timey {
         Class::Time
     } else if leaf.contains("ndc") || leaf.contains("full_evals") || leaf.contains("dropped") {

@@ -92,8 +92,74 @@ pub fn bench_lan_config(scale: Scale) -> LanConfig {
 /// Builds the index for one dataset preset at the current scale, printing
 /// progress (index construction dominated by GED computations is slow by
 /// nature — that is the paper's premise).
+///
+/// When `LAN_STORE` names a directory, built indexes are cached there as
+/// store files keyed by dataset name, size, and scale: a later run with
+/// the same key `open`s the file (milliseconds) instead of rebuilding
+/// (minutes). A stale or corrupt cache entry is rebuilt and overwritten —
+/// the typed open error is printed, never trusted.
 pub fn build_index(spec: DatasetSpec, scale: Scale) -> LanIndex {
     let spec = sized_spec(spec, scale);
+    let cache = cache_path(&spec, scale);
+    if let Some(path) = &cache {
+        match LanIndex::open(path) {
+            Ok(index) => {
+                eprintln!("[{}] opened cached index {}", spec.name, path.display());
+                return index;
+            }
+            Err(lan_store::StoreError::Io(_)) => {} // not cached yet
+            Err(e) => eprintln!(
+                "[{}] ignoring unusable cache {}: {e}",
+                spec.name,
+                path.display()
+            ),
+        }
+    }
+    let index = build_index_uncached(spec, scale);
+    if let Some(path) = &cache {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match index.save(path) {
+            Ok(bytes) => eprintln!(
+                "[{}] cached index to {} ({bytes} bytes)",
+                index.dataset.spec.name,
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "[{}] failed to cache index to {}: {e}",
+                index.dataset.spec.name,
+                path.display()
+            ),
+        }
+    }
+    index
+}
+
+/// Cache file for a sized spec under `LAN_STORE`, or `None` when the env
+/// knob is unset. The key carries everything `sized_spec` pins (name,
+/// sizes, scale); model/PG config follow from the scale.
+fn cache_path(spec: &DatasetSpec, scale: Scale) -> Option<std::path::PathBuf> {
+    std::env::var("LAN_STORE").ok().map(|dir| {
+        std::path::PathBuf::from(dir).join(format!(
+            "{}_g{}_q{}_{:?}.lan",
+            spec.name.to_lowercase(),
+            spec.num_graphs,
+            spec.num_queries,
+            scale
+        ))
+    })
+}
+
+/// [`build_index`] without the `sized_spec` re-sizing or the `LAN_STORE`
+/// cache: builds exactly the spec given (the `persist` bench's 10k tier
+/// must not be clamped to the scale's default database size, and must
+/// measure a real rebuild).
+pub fn build_index_exact(spec: DatasetSpec, scale: Scale) -> LanIndex {
+    build_index_uncached(spec, scale)
+}
+
+fn build_index_uncached(spec: DatasetSpec, scale: Scale) -> LanIndex {
     let name = spec.name;
     eprintln!(
         "[{name}] generating dataset ({} graphs)...",
@@ -213,6 +279,51 @@ mod tests {
         assert_eq!(s.num_graphs, 240);
         let m = sized_spec(DatasetSpec::aids(), Scale::Medium);
         assert!(m.num_graphs > s.num_graphs);
+    }
+
+    #[test]
+    fn lan_store_cache_is_opened_instead_of_rebuilt() {
+        // Plant a tiny prebuilt index under the exact cache key build_index
+        // computes for (SYN, Small); the call must come back with the
+        // planted 25-graph index instead of rebuilding the 600-graph one.
+        let tiny = LanIndex::build(
+            Dataset::generate(
+                DatasetSpec::syn()
+                    .with_graphs(25)
+                    .with_queries(8)
+                    .with_metric(lan_ged::GedMethod::Hungarian),
+            ),
+            LanConfig {
+                pg: PgConfig::new(4),
+                model: ModelConfig {
+                    embed_dim: 8,
+                    epochs: 1,
+                    max_samples_per_epoch: 50,
+                    nh_cover_k: 5,
+                    clusters: 2,
+                    top_clusters: 1,
+                    mlp_hidden: 8,
+                    ..ModelConfig::default()
+                },
+                ds: 1.0,
+                quant: lan_core::QuantConfig::default(),
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("lan_store_cache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        lan_par::testenv::with_env(&[("LAN_STORE", Some(&dir_s))], || {
+            let key = cache_path(&sized_spec(DatasetSpec::syn(), Scale::Small), Scale::Small)
+                .expect("LAN_STORE is set");
+            tiny.save(&key).expect("plant cache");
+            let got = build_index(DatasetSpec::syn(), Scale::Small);
+            assert_eq!(
+                got.dataset.graphs.len(),
+                25,
+                "build_index must open the planted cache, not rebuild"
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

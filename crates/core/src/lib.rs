@@ -35,6 +35,7 @@ pub mod index;
 pub mod l2route;
 pub mod query;
 pub mod sharded;
+pub mod store;
 
 pub use harness::{qps_at_recall, Breakdown, CurvePoint};
 pub use index::{LanConfig, LanIndex, QuantConfig};

@@ -37,6 +37,12 @@ impl ShardedLanIndex {
         assert!(num_shards >= 1, "need at least one shard");
         let n = dataset.graphs.len();
         assert!(num_shards <= n, "more shards than graphs");
+        // Global ids are u32; the `lo as u32..hi as u32` remap below would
+        // silently wrap past that, aliasing shards onto the same ids.
+        assert!(
+            n <= u32::MAX as usize + 1,
+            "database of {n} objects exceeds the u32 global-id space"
+        );
         let chunk = n.div_ceil(num_shards);
 
         let train_queries: Vec<Graph> = dataset

@@ -9,6 +9,7 @@
 
 pub mod dataset;
 pub mod spec;
+pub mod store;
 
 pub use dataset::{recall_at_k, recall_at_k_ties, Dataset, WorkloadSplit};
 pub use spec::{DatasetSpec, Family};

@@ -232,6 +232,61 @@ impl QuantStore {
         (q.norm as i128 + self.norms[i] as i128 - 2 * dot as i128).max(0) as u64
     }
 
+    /// Serializes both packed code books (binary signs + scalar codes)
+    /// with their quantization parameters.
+    pub fn store_encode(&self, enc: &mut lan_store::Enc) {
+        enc.put_u64(self.dim as u64);
+        enc.put_u64(self.n as u64);
+        enc.put_f32_slice(&self.means);
+        enc.put_f32_slice(&self.lo);
+        enc.put_f32_slice(&self.step);
+        enc.put_u64_slice(&self.bits);
+        enc.put_u8_slice(&self.codes);
+        enc.put_u64_slice(&self.norms);
+    }
+
+    /// Decodes a code store, validating every slab length against the
+    /// recorded `n × dim` geometry. Counter handles are re-resolved, as in
+    /// [`QuantStore::build`].
+    pub fn store_decode(dec: &mut lan_store::Dec<'_>) -> Result<QuantStore, lan_store::StoreError> {
+        use lan_store::StoreError;
+        let dim = dec.get_u64()? as usize;
+        let n = dec.get_u64()? as usize;
+        if dim == 0 || n == 0 {
+            return Err(StoreError::corrupt("quant store with zero rows or dims"));
+        }
+        let words = dim.div_ceil(64);
+        let means = dec.get_f32_slice()?;
+        let lo = dec.get_f32_slice()?;
+        let step = dec.get_f32_slice()?;
+        let bits = dec.get_u64_slice()?;
+        let codes = dec.get_u8_slice()?;
+        let norms = dec.get_u64_slice()?;
+        if means.len() != dim || lo.len() != dim || step.len() != dim {
+            return Err(StoreError::corrupt(
+                "quant per-dimension arrays mismatch dim",
+            ));
+        }
+        if bits.len() != n * words || codes.len() != n * dim || norms.len() != n {
+            return Err(StoreError::corrupt(format!(
+                "quant code slabs inconsistent with n={n}, dim={dim}"
+            )));
+        }
+        Ok(QuantStore {
+            dim,
+            words,
+            n,
+            means: means.to_vec(),
+            lo: lo.to_vec(),
+            step: step.to_vec(),
+            bits: bits.to_vec(),
+            codes: codes.to_vec(),
+            norms: norms.to_vec(),
+            m_simd: lan_obs::counter(names::QUANT_KERNEL_SIMD),
+            m_scalar: lan_obs::counter(names::QUANT_KERNEL_SCALAR),
+        })
+    }
+
     /// The raw (uncalibrated) surrogate distance under `mode`. `Off` is
     /// rejected — callers gate on the mode before scoring.
     pub fn raw_score(&self, mode: QuantMode, q: &QuantQuery, id: u32) -> f64 {
@@ -253,6 +308,54 @@ mod tests {
         (0..n)
             .map(|_| (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
             .collect()
+    }
+
+    #[test]
+    fn store_round_trip_preserves_surrogates() {
+        // dim > 64 exercises multi-word binary codes.
+        let mut rng = StdRng::seed_from_u64(3);
+        let embeds = random_embeds(&mut rng, 12, 70);
+        let s = QuantStore::build(&embeds).unwrap();
+        let mut enc = lan_store::Enc::new();
+        s.store_encode(&mut enc);
+        let mut w = lan_store::Writer::new();
+        w.add_section("q", enc);
+        let a = lan_store::Archive::from_bytes(&w.to_bytes()).unwrap();
+        let mut d = a.section("q").unwrap();
+        let back = QuantStore::store_decode(&mut d).unwrap();
+        d.expect_end().unwrap();
+        assert_eq!((back.len(), back.dim()), (s.len(), s.dim()));
+        let probe = random_embeds(&mut rng, 1, 70).pop().unwrap();
+        let (q1, q2) = (s.encode(&probe), back.encode(&probe));
+        for id in 0..embeds.len() as u32 {
+            assert_eq!(s.hamming(&q1, id), back.hamming(&q2, id));
+            assert_eq!(s.l2sq(&q1, id), back.l2sq(&q2, id));
+        }
+    }
+
+    #[test]
+    fn store_decode_rejects_inconsistent_slabs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let embeds = random_embeds(&mut rng, 4, 8);
+        let s = QuantStore::build(&embeds).unwrap();
+        let mut enc = lan_store::Enc::new();
+        // Lie about n so every slab length disagrees.
+        enc.put_u64(s.dim as u64);
+        enc.put_u64(99);
+        enc.put_f32_slice(&s.means);
+        enc.put_f32_slice(&s.lo);
+        enc.put_f32_slice(&s.step);
+        enc.put_u64_slice(&s.bits);
+        enc.put_u8_slice(&s.codes);
+        enc.put_u64_slice(&s.norms);
+        let mut w = lan_store::Writer::new();
+        w.add_section("q", enc);
+        let a = lan_store::Archive::from_bytes(&w.to_bytes()).unwrap();
+        let mut d = a.section("q").unwrap();
+        assert!(matches!(
+            QuantStore::store_decode(&mut d),
+            Err(lan_store::StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! On-disk codec for [`Graph`] and its cached [`GraphSignature`].
+//!
+//! Graphs are serialized as CSR adjacency (offsets + flattened sorted
+//! neighbor lists) so a load rebuilds the in-memory representation with
+//! straight copies — no per-node sorting at open time. The precomputed
+//! signature travels with the graph: recomputing a million signatures
+//! would dominate a cold start, which is exactly what the store exists to
+//! avoid. Loads always run the cheap O(|V|+|E|) structural validation
+//! (offsets monotone, endpoints in range, lengths consistent); the full
+//! signature recomputation is a debug assertion only.
+
+use crate::graph::{Graph, GraphSignature};
+use lan_store::{Dec, Enc, StoreError};
+
+impl Graph {
+    /// Serializes the graph (labels, CSR adjacency, cached signature).
+    pub fn store_encode(&self, enc: &mut Enc) {
+        let n = self.node_count();
+        enc.put_u32(n as u32);
+        enc.put_u64(self.edge_count() as u64);
+        enc.put_u16_slice(self.labels());
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut flat: Vec<u32> = Vec::with_capacity(2 * self.edge_count());
+        offsets.push(0);
+        for v in self.nodes() {
+            flat.extend_from_slice(self.neighbors(v));
+            offsets.push(flat.len() as u32);
+        }
+        enc.put_u32_slice(&offsets);
+        enc.put_u32_slice(&flat);
+        enc.put_u16_slice(self.signature().sorted_labels());
+        enc.put_u32_slice(self.signature().degree_sequence());
+    }
+
+    /// Decodes and structurally validates one graph.
+    pub fn store_decode(dec: &mut Dec<'_>) -> Result<Graph, StoreError> {
+        let n = dec.get_u32()? as usize;
+        let edge_count = dec.get_u64()? as usize;
+        let labels = dec.get_u16_slice()?;
+        let offsets = dec.get_u32_slice()?;
+        let flat = dec.get_u32_slice()?;
+        let sig_labels = dec.get_u16_slice()?;
+        let sig_degrees = dec.get_u32_slice()?;
+
+        if labels.len() != n {
+            return Err(StoreError::corrupt(format!(
+                "graph labels: {} entries for {n} nodes",
+                labels.len()
+            )));
+        }
+        if offsets.len() != n + 1 || offsets.first().copied().unwrap_or(0) != 0 {
+            return Err(StoreError::corrupt("graph CSR offsets malformed"));
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != flat.len() {
+            return Err(StoreError::corrupt(
+                "graph CSR offsets disagree with adjacency",
+            ));
+        }
+        if flat.len() != 2 * edge_count {
+            return Err(StoreError::corrupt(format!(
+                "graph adjacency holds {} entries for {edge_count} edges",
+                flat.len()
+            )));
+        }
+        if sig_labels.len() != n || sig_degrees.len() != n {
+            return Err(StoreError::corrupt("graph signature length mismatch"));
+        }
+
+        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            if hi < lo {
+                return Err(StoreError::corrupt("graph CSR offsets not monotone"));
+            }
+            let ns = &flat[lo..hi];
+            if ns.iter().any(|&w| w as usize >= n || w as usize == v) {
+                return Err(StoreError::corrupt(format!(
+                    "graph node {v} has an out-of-range or self-loop neighbor"
+                )));
+            }
+            if ns.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(StoreError::corrupt(format!(
+                    "graph node {v} neighbor list not strictly sorted"
+                )));
+            }
+            adj.push(ns.to_vec());
+        }
+
+        let sig = GraphSignature::from_parts_impl(sig_labels.to_vec(), sig_degrees.to_vec());
+        let g = Graph::from_stored_parts(labels.to_vec(), adj, edge_count, sig);
+        debug_assert!(
+            {
+                let fresh = GraphSignature::compute_for(&g);
+                fresh.sorted_labels() == g.signature().sorted_labels()
+                    && fresh.degree_sequence() == g.signature().degree_sequence()
+            },
+            "stored signature disagrees with recomputation"
+        );
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use lan_store::{Archive, Writer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round_trip(g: &Graph) -> Graph {
+        let mut enc = Enc::new();
+        g.store_encode(&mut enc);
+        let mut w = Writer::new();
+        w.add_section("g", enc);
+        let bytes = w.to_bytes();
+        let a = Archive::from_bytes(&bytes).unwrap();
+        let mut d = a.section("g").unwrap();
+        let out = Graph::store_decode(&mut d).unwrap();
+        d.expect_end().unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_generated_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..20 {
+            let g = generators::molecule_like(&mut rng, 3 + i % 17, 4, 4, 6);
+            let back = round_trip(&g);
+            assert_eq!(back, g);
+            assert_eq!(
+                back.signature().sorted_labels(),
+                g.signature().sorted_labels()
+            );
+            assert_eq!(
+                back.signature().degree_sequence(),
+                g.signature().degree_sequence()
+            );
+        }
+        let empty = Graph::empty();
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn corrupt_adjacency_is_typed_not_panic() {
+        // Encode a valid graph, then lie about the node count so every
+        // neighbor id lands out of range.
+        let g = Graph::from_edges(vec![0, 1, 2], &[(0, 1), (1, 2)]).unwrap();
+        let mut enc = Enc::new();
+        enc.put_u32(1); // claim 1 node
+        enc.put_u64(g.edge_count() as u64);
+        enc.put_u16_slice(&g.labels()[..1]);
+        enc.put_u32_slice(&[0, 2]);
+        enc.put_u32_slice(&[1, 2]); // neighbors >= node count
+        enc.put_u16_slice(&[0]);
+        enc.put_u32_slice(&[1]);
+        let mut w = Writer::new();
+        w.add_section("g", enc);
+        let bytes = w.to_bytes();
+        let a = Archive::from_bytes(&bytes).unwrap();
+        let mut d = a.section("g").unwrap();
+        assert!(matches!(
+            Graph::store_decode(&mut d),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

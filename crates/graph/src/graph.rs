@@ -82,6 +82,21 @@ impl GraphSignature {
         }
     }
 
+    /// Reassembly from stored arrays (the store codec's path around the
+    /// private fields; validation lives in `codec`).
+    pub(crate) fn from_parts_impl(sorted_labels: Vec<Label>, degree_sequence: Vec<u32>) -> Self {
+        GraphSignature {
+            sorted_labels,
+            degree_sequence,
+        }
+    }
+
+    /// Fresh recomputation from a finished graph — the store codec's
+    /// debug-time cross-check of a stored signature.
+    pub(crate) fn compute_for(g: &Graph) -> Self {
+        GraphSignature::compute(&g.labels, &g.adj)
+    }
+
     /// The node label multiset, ascending.
     #[inline]
     pub fn sorted_labels(&self) -> &[Label] {
@@ -101,6 +116,24 @@ impl Graph {
     /// `edge_count`.
     fn assemble(labels: Vec<Label>, adj: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
         let sig = GraphSignature::compute(&labels, &adj);
+        Graph {
+            labels,
+            adj,
+            edge_count,
+            sig,
+        }
+    }
+
+    /// Reassembles a graph from store-validated parts *with* its cached
+    /// signature — skips the signature recomputation [`Graph::assemble`]
+    /// performs. Crate-internal: only the store codec, which has already
+    /// validated the parts, may call this.
+    pub(crate) fn from_stored_parts(
+        labels: Vec<Label>,
+        adj: Vec<Vec<NodeId>>,
+        edge_count: usize,
+        sig: GraphSignature,
+    ) -> Self {
         Graph {
             labels,
             adj,

@@ -29,6 +29,7 @@
 //! assert_eq!(g.degree(v1), 3);
 //! ```
 
+pub mod codec;
 pub mod generators;
 pub mod graph;
 pub mod io;

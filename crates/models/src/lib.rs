@@ -7,6 +7,7 @@ pub mod kmeans;
 pub mod learned_ranker;
 pub mod models;
 pub mod quant_index;
+pub mod store;
 
 pub use kmeans::KMeans;
 pub use learned_ranker::LearnedRanker;

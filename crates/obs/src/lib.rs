@@ -150,6 +150,12 @@ pub mod names {
     /// Span occurrences folded into the self-time profiler
     /// (`LAN_PROFILE=1`).
     pub const PROFILE_SPANS: &str = "profile.spans";
+    /// Wall-clock of the last `LanIndex::save` (nanoseconds).
+    pub const STORE_SAVE_NS: &str = "store.save.ns";
+    /// Wall-clock of the last `LanIndex::open` (nanoseconds).
+    pub const STORE_LOAD_NS: &str = "store.load.ns";
+    /// Size in bytes of the last store file written or opened.
+    pub const STORE_BYTES: &str = "store.bytes";
 
     /// Per-shard NDC counter name (`shard.{i}.ndc`).
     pub fn shard_ndc(shard: usize) -> String {

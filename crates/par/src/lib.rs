@@ -81,17 +81,138 @@ pub mod testenv {
     }
 }
 
-/// Worker count used by the helpers: `LAN_THREADS` env override when set
-/// (clamped to at least 1), else the host's available parallelism.
-pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("LAN_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+/// Strict, loud parsing of `LAN_*` environment knobs.
+///
+/// The historical failure mode of env-tuned systems is the silent typo:
+/// `LAN_THREADS=O8` or `LAN_NDC_BUDGET=-5` would quietly fall back to a
+/// default and change benchmark numbers without a trace. Every knob in the
+/// workspace now parses through this module: a malformed value yields a
+/// typed [`env::EnvError`] on the `try_*` paths, and the total
+/// (infallible) paths print the offending value to stderr **once per key
+/// per process** before falling back to the documented default.
+pub mod env {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    /// A malformed environment variable: which key, the raw offending
+    /// value, and why it was rejected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct EnvError {
+        pub key: String,
+        pub value: String,
+        pub reason: String,
+    }
+
+    impl std::fmt::Display for EnvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "ignoring {}={:?}: {} (using default)",
+                self.key, self.value, self.reason
+            )
         }
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
+
+    impl std::error::Error for EnvError {}
+
+    static WARNED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+
+    /// Prints `err` to stderr the first time its key is seen; later calls
+    /// for the same key are silent (one warning per knob per process, so a
+    /// hot loop re-reading the env can't spam).
+    pub fn warn_once(err: &EnvError) {
+        let mut g = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+        let set = g.get_or_insert_with(HashSet::new);
+        if set.insert(err.key.clone()) {
+            eprintln!("lan: {err}");
+        }
+    }
+
+    /// Test hook: forgets which keys have warned, so reject-set tests can
+    /// observe the warning behavior deterministically.
+    pub fn reset_warnings() {
+        let mut g = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+        *g = None;
+    }
+
+    /// Reads `key` and parses it with `parse`. Unset → `Ok(None)`; set
+    /// and valid → `Ok(Some(v))`; set and malformed → `Err(EnvError)`.
+    pub fn parse_var<T>(
+        key: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<Option<T>, EnvError> {
+        match std::env::var(key) {
+            Err(_) => Ok(None),
+            Ok(raw) => parse(raw.trim()).map(Some).map_err(|reason| EnvError {
+                key: key.to_string(),
+                value: raw,
+                reason,
+            }),
+        }
+    }
+
+    /// Total variant of [`parse_var`]: malformed values warn once to
+    /// stderr and report as unset, so the caller's documented default
+    /// applies.
+    pub fn parse_var_or_warn<T>(
+        key: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Option<T> {
+        match parse_var(key, parse) {
+            Ok(v) => v,
+            Err(e) => {
+                warn_once(&e);
+                None
+            }
+        }
+    }
+
+    /// Parser for a positive (non-zero) integer knob.
+    pub fn positive_usize(s: &str) -> Result<usize, String> {
+        let n: usize = s
+            .parse()
+            .map_err(|_| format!("expected a positive integer, got {s:?}"))?;
+        if n == 0 {
+            return Err("must be >= 1".into());
+        }
+        Ok(n)
+    }
+
+    /// Parser for a non-negative integer knob (zero allowed).
+    pub fn any_usize(s: &str) -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("expected a non-negative integer, got {s:?}"))
+    }
+}
+
+/// Worker count used by the helpers, as a `Result`: the `LAN_THREADS`
+/// override when set and valid, the host's available parallelism when
+/// unset, and a typed [`env::EnvError`] when set but malformed
+/// (non-numeric, negative, or zero — a zero-thread pool cannot make
+/// progress, so it is rejected rather than clamped).
+pub fn try_num_threads() -> Result<usize, env::EnvError> {
+    match env::parse_var("LAN_THREADS", env::positive_usize)? {
+        Some(n) => Ok(n),
+        None => Ok(std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)),
+    }
+}
+
+/// Worker count used by the helpers: `LAN_THREADS` env override when set,
+/// else the host's available parallelism. Re-read on every call. A
+/// malformed override (including `0`) warns once on stderr and falls back
+/// to the host parallelism — it no longer silently clamps.
+pub fn num_threads() -> usize {
+    match try_num_threads() {
+        Ok(n) => n,
+        Err(e) => {
+            env::warn_once(&e);
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        }
+    }
 }
 
 /// Parallel, order-preserving map over a slice.
@@ -233,6 +354,53 @@ mod tests {
         testenv::with_env(&[("LAN_THREADS", None)], || {
             assert!(num_threads() >= 1);
         });
+    }
+
+    #[test]
+    fn lan_threads_reject_set_is_loud_not_silent() {
+        // Every malformed LAN_THREADS value must produce a typed error
+        // from the fallible path and fall back to host parallelism on the
+        // total path — never a silent clamp.
+        for bad in ["0", "-3", "abc", "1.5", "", "0x8", "  "] {
+            testenv::with_env(&[("LAN_THREADS", Some(bad))], || {
+                let err = try_num_threads().expect_err(bad);
+                assert_eq!(err.key, "LAN_THREADS");
+                assert_eq!(err.value, bad);
+                assert!(num_threads() >= 1, "total path must still work");
+            });
+        }
+        for good in ["1", "2", " 8 "] {
+            testenv::with_env(&[("LAN_THREADS", Some(good))], || {
+                let n = try_num_threads().unwrap();
+                assert_eq!(n, good.trim().parse::<usize>().unwrap());
+                assert_eq!(num_threads(), n);
+            });
+        }
+    }
+
+    #[test]
+    fn env_warnings_fire_once_per_key() {
+        let e = env::EnvError {
+            key: "LAN_WARN_PROBE".into(),
+            value: "x".into(),
+            reason: "test".into(),
+        };
+        env::reset_warnings();
+        // Both calls go through; the dedup set must register the key.
+        env::warn_once(&e);
+        env::warn_once(&e);
+        env::reset_warnings();
+        env::warn_once(&e);
+    }
+
+    #[test]
+    fn env_parsers() {
+        assert_eq!(env::positive_usize("3"), Ok(3));
+        assert!(env::positive_usize("0").is_err());
+        assert!(env::positive_usize("-1").is_err());
+        assert!(env::positive_usize("x").is_err());
+        assert_eq!(env::any_usize("0"), Ok(0));
+        assert!(env::any_usize("-5").is_err());
     }
 
     #[test]

@@ -102,17 +102,32 @@ impl QueryBudget {
         self
     }
 
-    /// Reads `LAN_NDC_BUDGET`, `LAN_DEADLINE_MS`, and `LAN_MAX_HOPS`
-    /// (each optional; unset or unparsable means unlimited on that axis).
-    /// Re-read on every call so tests and benches can flip them at runtime.
+    /// Reads `LAN_NDC_BUDGET`, `LAN_DEADLINE_MS`, and `LAN_MAX_HOPS` as a
+    /// `Result`: each is optional (unset → unlimited on that axis), but a
+    /// *set and malformed* value — `-5`, `abc`, an empty string — is a
+    /// typed [`lan_par::env::EnvError`] naming the key and the offending
+    /// value, never a silent fallback to unlimited.
+    pub fn try_from_env() -> Result<Self, lan_par::env::EnvError> {
+        use lan_par::env::{any_usize, parse_var};
+        Ok(QueryBudget {
+            max_ndc: parse_var("LAN_NDC_BUDGET", any_usize)?,
+            deadline: parse_var("LAN_DEADLINE_MS", any_usize)?
+                .map(|ms| Duration::from_millis(ms as u64)),
+            max_hops: parse_var("LAN_MAX_HOPS", any_usize)?,
+        })
+    }
+
+    /// Total variant of [`QueryBudget::try_from_env`] for callers that
+    /// cannot propagate: a malformed value prints one warning per key to
+    /// stderr and that axis stays unlimited. Re-read on every call so
+    /// tests and benches can flip the knobs at runtime.
     pub fn from_env() -> Self {
-        fn env_usize(key: &str) -> Option<usize> {
-            std::env::var(key).ok()?.trim().parse().ok()
-        }
+        use lan_par::env::{any_usize, parse_var_or_warn};
         QueryBudget {
-            max_ndc: env_usize("LAN_NDC_BUDGET"),
-            deadline: env_usize("LAN_DEADLINE_MS").map(|ms| Duration::from_millis(ms as u64)),
-            max_hops: env_usize("LAN_MAX_HOPS"),
+            max_ndc: parse_var_or_warn("LAN_NDC_BUDGET", any_usize),
+            deadline: parse_var_or_warn("LAN_DEADLINE_MS", any_usize)
+                .map(|ms| Duration::from_millis(ms as u64)),
+            max_hops: parse_var_or_warn("LAN_MAX_HOPS", any_usize),
         }
     }
 }
@@ -344,6 +359,49 @@ pub fn budgeted_get_within(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_env_reject_set_is_typed() {
+        use lan_par::testenv::with_env;
+        // Each knob's reject set: negative, non-numeric, empty, float.
+        for key in ["LAN_NDC_BUDGET", "LAN_DEADLINE_MS", "LAN_MAX_HOPS"] {
+            for bad in ["-5", "abc", "", "1.5", "1e3"] {
+                with_env(&[(key, Some(bad))], || {
+                    let err = QueryBudget::try_from_env().expect_err(bad);
+                    assert_eq!(err.key, key, "wrong key blamed for {bad:?}");
+                    assert_eq!(err.value, bad);
+                    // The total path stays usable: that axis is unlimited.
+                    assert!(QueryBudget::from_env().is_unlimited());
+                });
+            }
+        }
+        // Valid values still parse on both paths (zero is a legal cap).
+        with_env(
+            &[
+                ("LAN_NDC_BUDGET", Some("100")),
+                ("LAN_DEADLINE_MS", Some("250")),
+                ("LAN_MAX_HOPS", Some("0")),
+            ],
+            || {
+                let b = QueryBudget::try_from_env().unwrap();
+                assert_eq!(b.max_ndc, Some(100));
+                assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(b.max_hops, Some(0));
+                assert_eq!(QueryBudget::from_env(), b);
+            },
+        );
+        // Unset means unlimited, not an error.
+        with_env(
+            &[
+                ("LAN_NDC_BUDGET", None),
+                ("LAN_DEADLINE_MS", None),
+                ("LAN_MAX_HOPS", None),
+            ],
+            || {
+                assert!(QueryBudget::try_from_env().unwrap().is_unlimited());
+            },
+        );
+    }
 
     #[test]
     fn unlimited_budget_is_unlimited() {

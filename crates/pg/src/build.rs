@@ -54,6 +54,12 @@ impl ProximityGraph {
     /// distance (construction-time distances flow through a [`PairCache`]).
     pub fn build(n: usize, pairs: &PairCache<'_>, cfg: &PgConfig) -> Self {
         assert!(n > 0, "cannot index an empty database");
+        // Node ids are u32 throughout (adjacency, caches, pool entries);
+        // a larger database would silently truncate `0..n as u32` below.
+        assert!(
+            n <= u32::MAX as usize + 1,
+            "database of {n} objects exceeds the u32 id space"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let levels: Vec<u8> = (0..n)
             .map(|_| {

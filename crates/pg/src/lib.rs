@@ -27,6 +27,7 @@ pub mod np_route;
 pub mod pool;
 pub mod prefilter;
 pub mod routing;
+pub mod store;
 
 pub use budget::{budgeted_get, budgeted_get_within, BudgetCtx, QueryBudget, Termination};
 pub use build::{brute_force_knn, PgConfig, ProximityGraph};

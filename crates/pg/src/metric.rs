@@ -369,10 +369,20 @@ impl<F: Fn(u32, u32) -> f64 + Sync> PairDistance for F {
 }
 
 /// Packs a symmetric `(u32, u32)` pair into one `u64` key (`min` in the
-/// high half) — one word to hash instead of a two-field tuple.
+/// high half) — one word to hash instead of a two-field tuple. Total over
+/// the full u32 range: both halves are widened before shifting, so the
+/// key is injective up to pair symmetry even at `u32::MAX`.
 fn pack_pair(a: u32, b: u32) -> u64 {
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-    ((lo as u64) << 32) | hi as u64
+    let key = ((lo as u64) << 32) | hi as u64;
+    debug_assert_eq!(unpack_pair(key), (lo, hi), "pack/unpack round-trip");
+    key
+}
+
+/// Recovers the ordered `(min, max)` endpoints of a [`pack_pair`] key.
+#[inline]
+fn unpack_pair(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
 }
 
 /// Memoizing wrapper for construction-time pair distances (symmetric keys).
@@ -431,7 +441,8 @@ impl<'a> PairCache<'a> {
                 *e.get()
             }
             Entry::Vacant(e) => {
-                let d = self.inner.distance((key >> 32) as u32, key as u32);
+                let (lo, hi) = unpack_pair(key);
+                let d = self.inner.distance(lo, hi);
                 e.insert(d);
                 self.computed.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
@@ -732,6 +743,45 @@ mod tests {
         assert_ne!(pack_pair(1, 2), pack_pair(1, 3));
         assert_ne!(pack_pair(0, 1), pack_pair(1, 1));
         assert_eq!(pack_pair(u32::MAX, 0), pack_pair(0, u32::MAX));
+    }
+
+    #[test]
+    fn pack_pair_survives_the_u32_edge() {
+        // Boundary ids around u32::MAX: packing must stay injective (up to
+        // symmetry) and unpacking must round-trip — a widening bug here
+        // would silently alias distinct pairs at >4B-object scale.
+        let edge = [0u32, 1, u32::MAX - 1, u32::MAX];
+        for &a in &edge {
+            for &b in &edge {
+                let key = pack_pair(a, b);
+                let (lo, hi) = unpack_pair(key);
+                assert_eq!((lo, hi), (a.min(b), a.max(b)), "round-trip {a},{b}");
+                for &c in &edge {
+                    for &d in &edge {
+                        let same = (a.min(b), a.max(b)) == (c.min(d), c.max(d));
+                        assert_eq!(
+                            key == pack_pair(c, d),
+                            same,
+                            "aliasing ({a},{b}) vs ({c},{d})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_cache_distinguishes_edge_ids() {
+        // (MAX, MAX-1) and (MAX, MAX) must occupy distinct cache slots and
+        // unpack to the original endpoints when the miss computes.
+        let f = |a: u32, b: u32| a as f64 + b as f64;
+        let cache = PairCache::new(&f);
+        let m = u32::MAX;
+        assert_eq!(cache.get(m, m - 1), m as f64 + (m - 1) as f64);
+        assert_eq!(cache.get(m, m), m as f64 * 2.0);
+        assert_eq!(cache.get(m - 1, m), m as f64 + (m - 1) as f64);
+        assert_eq!(cache.computed(), 2);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

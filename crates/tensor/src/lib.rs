@@ -40,6 +40,7 @@ pub mod nn;
 pub mod optim;
 pub mod param;
 pub mod simd;
+pub mod store;
 pub mod tape;
 
 pub use matrix::{dot, Matrix};

@@ -1,0 +1,150 @@
+//! On-disk codec for [`Matrix`] and trained [`ParamStore`] values.
+//!
+//! Only parameter *values* are serialized — gradients and Adam moments
+//! are training state that a loaded (inference-only) index never touches.
+//! Loading overwrites the values of an already-structured store: the
+//! consumer first replays the network construction that allocated the
+//! parameters (shapes are a pure function of the model config), then
+//! calls [`ParamStore::store_load_values`], which cross-checks the count
+//! and every shape so a file from a different config is rejected as
+//! [`StoreError::Corrupt`] instead of silently mis-assigning weights.
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+use lan_store::{Dec, Enc, StoreError};
+
+impl Matrix {
+    /// Serializes shape + the `f32` slab.
+    pub fn store_encode(&self, enc: &mut Enc) {
+        enc.put_u32(self.rows() as u32);
+        enc.put_u32(self.cols() as u32);
+        enc.put_f32_slice(self.data());
+    }
+
+    /// Decodes one matrix, validating the slab length against the shape.
+    pub fn store_decode(dec: &mut Dec<'_>) -> Result<Matrix, StoreError> {
+        let rows = dec.get_u32()? as usize;
+        let cols = dec.get_u32()? as usize;
+        let data = dec.get_f32_slice()?;
+        let expect = rows
+            .checked_mul(cols)
+            .ok_or_else(|| StoreError::corrupt(format!("matrix shape {rows}x{cols} overflows")))?;
+        if data.len() != expect {
+            return Err(StoreError::corrupt(format!(
+                "matrix {rows}x{cols} carries {} values",
+                data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(rows, cols, data.to_vec()))
+    }
+}
+
+impl ParamStore {
+    /// Serializes every parameter's current value, in id order.
+    pub fn store_encode_values(&self, enc: &mut Enc) {
+        enc.put_u32(self.len() as u32);
+        for id in 0..self.len() {
+            self.value(id).store_encode(enc);
+        }
+    }
+
+    /// Overwrites this store's parameter values from a stream written by
+    /// [`ParamStore::store_encode_values`]. The store must already hold
+    /// identically-shaped parameters in the same order.
+    pub fn store_load_values(&mut self, dec: &mut Dec<'_>) -> Result<(), StoreError> {
+        let count = dec.get_u32()? as usize;
+        if count != self.len() {
+            return Err(StoreError::corrupt(format!(
+                "param store holds {} parameters, file has {count}",
+                self.len()
+            )));
+        }
+        for id in 0..count {
+            let m = Matrix::store_decode(dec)?;
+            let dst = self.value_mut(id);
+            if (m.rows(), m.cols()) != (dst.rows(), dst.cols()) {
+                return Err(StoreError::corrupt(format!(
+                    "param {id}: expected {}x{}, file has {}x{}",
+                    dst.rows(),
+                    dst.cols(),
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+            *dst = m;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lan_store::{Archive, Writer};
+
+    fn archive_of(enc: Enc) -> Archive {
+        let mut w = Writer::new();
+        w.add_section("s", enc);
+        Archive::from_bytes(&w.to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.5, 0.0, f32::MIN, f32::MAX, 3.25]);
+        let mut enc = Enc::new();
+        m.store_encode(&mut enc);
+        let a = archive_of(enc);
+        let mut d = a.section("s").unwrap();
+        let back = Matrix::store_decode(&mut d).unwrap();
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back.cols(), 3);
+        assert_eq!(back.data(), m.data());
+    }
+
+    #[test]
+    fn param_store_values_round_trip() {
+        let mut src = ParamStore::new();
+        src.add(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        src.add(Matrix::from_vec(1, 3, vec![-1.0, 0.5, 9.0]));
+        let mut enc = Enc::new();
+        src.store_encode_values(&mut enc);
+
+        // A freshly-constructed store with the same shapes but zeroed
+        // values (what the network-construction replay produces).
+        let mut dst = ParamStore::new();
+        dst.add(Matrix::zeros(2, 2));
+        dst.add(Matrix::zeros(1, 3));
+        let a = archive_of(enc);
+        let mut d = a.section("s").unwrap();
+        dst.store_load_values(&mut d).unwrap();
+        d.expect_end().unwrap();
+        assert_eq!(dst.value(0).data(), src.value(0).data());
+        assert_eq!(dst.value(1).data(), src.value(1).data());
+    }
+
+    #[test]
+    fn shape_and_count_mismatches_are_typed() {
+        let mut src = ParamStore::new();
+        src.add(Matrix::zeros(2, 2));
+        let mut enc = Enc::new();
+        src.store_encode_values(&mut enc);
+        let a = archive_of(enc);
+
+        // Count mismatch.
+        let mut dst = ParamStore::new();
+        let mut d = a.section("s").unwrap();
+        assert!(matches!(
+            dst.store_load_values(&mut d),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        // Shape mismatch.
+        let mut dst = ParamStore::new();
+        dst.add(Matrix::zeros(3, 2));
+        let mut d = a.section("s").unwrap();
+        assert!(matches!(
+            dst.store_load_values(&mut d),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}
