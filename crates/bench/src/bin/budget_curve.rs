@@ -256,7 +256,8 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"budget_curve\",\n  \"num_shards\": {num_shards},\n  \"queries\": {},\n  \"k\": {k},\n  \"beam\": {b},\n  \"ambient_faults\": \"{}\",\n  \"unlimited\": {{\"avg_recall\": {:.4}, \"avg_ndc\": {:.2}, \"degraded_queries\": {}}},\n  \"recall_vs_ndc_budget\": [\n{}\n  ],\n  \"recall_vs_fault_rate\": [\n{}\n  ],\n  \"counters\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"budget_curve\",\n{}  \"num_shards\": {num_shards},\n  \"queries\": {},\n  \"k\": {k},\n  \"beam\": {b},\n  \"ambient_faults\": \"{}\",\n  \"unlimited\": {{\"avg_recall\": {:.4}, \"avg_ndc\": {:.2}, \"degraded_queries\": {}}},\n  \"recall_vs_ndc_budget\": [\n{}\n  ],\n  \"recall_vs_fault_rate\": [\n{}\n  ],\n  \"counters\": {{\n{}\n  }}\n}}\n",
+        lan_bench::host_header_json(),
         queries.len(),
         ambient.map_or("none".to_string(), |p| format!(
             "ged_timeout:{},ged_fail:{},seed={}",

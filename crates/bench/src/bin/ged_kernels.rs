@@ -225,7 +225,8 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"ged_kernels\",\n  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"queries\": {},\n  \"b\": {},\n  \"k\": {},\n  \"equivalence\": \"ok\",\n  \"routing\": {{\"seed_full_evals\": {routing_seed_full}, \"cascade_full_evals\": {routing_casc_full}, \"reduction\": {routing_ratio:.3}, \"seed_us\": {routing_seed_us:.0}, \"cascade_us\": {routing_casc_us:.0}}},\n  \"ground_truth\": {{\"k\": {gt_k}, \"seed_full_evals\": {gt_seed_full}, \"cascade_full_evals\": {gt_casc_full}, \"reduction\": {gt_ratio:.3}, \"seed_us\": {gt_seed_us:.0}, \"cascade_us\": {gt_casc_us:.0}}},\n  \"reduction\": {overall_ratio:.3},\n  \"ged_lb_prune\": {lb_prunes},\n  \"ged_early_abort\": {early_aborts},\n  \"cascade_counters\": {{\"quant.prefilter.evals\": {quant_evals}, \"quant.prefilter.pruned\": {quant_pruned}, \"ged.lb_prune\": {lb_prunes}, \"ged.early_abort\": {early_aborts}, \"ged.full_evals\": {full_total}}}\n}}\n",
+        "{{\n  \"bench\": \"ged_kernels\",\n{}  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"queries\": {},\n  \"b\": {},\n  \"k\": {},\n  \"equivalence\": \"ok\",\n  \"routing\": {{\"seed_full_evals\": {routing_seed_full}, \"cascade_full_evals\": {routing_casc_full}, \"reduction\": {routing_ratio:.3}, \"seed_us\": {routing_seed_us:.0}, \"cascade_us\": {routing_casc_us:.0}}},\n  \"ground_truth\": {{\"k\": {gt_k}, \"seed_full_evals\": {gt_seed_full}, \"cascade_full_evals\": {gt_casc_full}, \"reduction\": {gt_ratio:.3}, \"seed_us\": {gt_seed_us:.0}, \"cascade_us\": {gt_casc_us:.0}}},\n  \"reduction\": {overall_ratio:.3},\n  \"ged_lb_prune\": {lb_prunes},\n  \"ged_early_abort\": {early_aborts},\n  \"cascade_counters\": {{\"quant.prefilter.evals\": {quant_evals}, \"quant.prefilter.pruned\": {quant_pruned}, \"ged.lb_prune\": {lb_prunes}, \"ged.early_abort\": {early_aborts}, \"ged.full_evals\": {full_total}}}\n}}\n",
+        lan_bench::host_header_json(),
         s.ds.graphs.len(),
         s.query_idx.len(),
         s.b,

@@ -253,7 +253,8 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"gnn_inference\",\n  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"hops\": {},\n  \"reps\": {reps},\n  \"equivalence\": \"ok\",\n  \"pair_forward\": {{\"tape_us\": {pair_tape_us:.3}, \"infer_us\": {pair_infer_us:.3}, \"speedup\": {pair_speedup:.3}}},\n  \"hop_workload\": {{\"tape_us\": {hop_tape_us:.3}, \"batched_us\": {hop_batched_us:.3}, \"speedup\": {hop_speedup:.3}}},\n  \"hop_cached\": {{\"tape_us\": {warm_tape_us:.3}, \"batched_us\": {warm_batched_us:.3}, \"speedup\": {warm_speedup:.3}}},\n  \"speedup\": {warm_speedup:.3},\n  \"gnn_infer_forwards\": {forwards},\n  \"gnn_infer_cache_hit\": {hits},\n  \"gnn_infer_cache_miss\": {misses}\n}}\n",
+        "{{\n  \"bench\": \"gnn_inference\",\n{}  \"smoke\": {smoke},\n  \"graphs\": {},\n  \"hops\": {},\n  \"reps\": {reps},\n  \"equivalence\": \"ok\",\n  \"pair_forward\": {{\"tape_us\": {pair_tape_us:.3}, \"infer_us\": {pair_infer_us:.3}, \"speedup\": {pair_speedup:.3}}},\n  \"hop_workload\": {{\"tape_us\": {hop_tape_us:.3}, \"batched_us\": {hop_batched_us:.3}, \"speedup\": {hop_speedup:.3}}},\n  \"hop_cached\": {{\"tape_us\": {warm_tape_us:.3}, \"batched_us\": {warm_batched_us:.3}, \"speedup\": {warm_speedup:.3}}},\n  \"speedup\": {warm_speedup:.3},\n  \"gnn_infer_forwards\": {forwards},\n  \"gnn_infer_cache_hit\": {hits},\n  \"gnn_infer_cache_miss\": {misses}\n}}\n",
+        lan_bench::host_header_json(),
         s.ds.graphs.len(),
         s.hops.len(),
     );

@@ -42,6 +42,9 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "explain.dropped",
     "profile.spans",
     "trace.dropped",
+    // Peak-RSS gauge, sampled at phase boundaries (`lan_obs::mem`). Zero
+    // on non-Linux hosts — presence is the schema contract there too.
+    "mem.peak_rss_kb",
 ];
 
 /// Finds `"key": <number>` in a JSON document and parses the number.
@@ -92,6 +95,9 @@ fn main() -> ExitCode {
     }
     if json_u64(&doc, "query.count") == Some(0) {
         return fail("query.count is 0 — the bench ran no queries");
+    }
+    if cfg!(target_os = "linux") && json_u64(&doc, "mem.peak_rss_kb") == Some(0) {
+        return fail("mem.peak_rss_kb is 0 on Linux — the peak-RSS probe never sampled");
     }
 
     if let Some(trace_path) = args.get(1) {

@@ -202,10 +202,11 @@ fn main() -> ExitCode {
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"persist\",\n  \"tier\": \"{tier}\",\n  \"graphs\": {},\n  \
+        "{{\n  \"bench\": \"persist\",\n{}  \"tier\": \"{tier}\",\n  \"graphs\": {},\n  \
          \"probes\": {},\n  \"store_bytes\": {bytes},\n  \"build_wall_s\": {build_s:.3},\n  \
          \"save_wall_s\": {save_s:.4},\n  \"load_wall_s\": {load_s:.5},\n  \
          \"cold_start_speedup\": {speedup:.1},\n  \"identity_mismatches\": {mismatches}\n}}\n",
+        lan_bench::host_header_json(),
         loaded.dataset.graphs.len(),
         fresh.len(),
     );

@@ -395,7 +395,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"quant_prefilter\",\n  \"smoke\": {smoke},\n  \"equivalence\": \"ok\",\n  \"kernel_path\": \"{kernel_path}\",\n  \"kernel_calls\": {{\"simd\": {kernel_simd}, \"scalar\": {kernel_scalar}}},\n  \"ground_truth\": {{\"graphs\": {}, \"queries\": {}, \"k\": {gt_k}, \"pr5_full_evals\": {gt_pr5_full}, \"plain_full_evals\": {gt_plain_full}, \"plain_reduction\": {plain_ratio:.3}, {}, \"best_further_reduction\": {gt_best_ratio:.3}}},\n  \"routing\": {{\n    \"graphs\": {}, \"queries\": {}, \"k\": {k}, \"b\": {b},\n    \"baseline\": {{\"recall\": {:.4}, \"total_ndc\": {}}},\n    \"operating_point\": {{\"mode\": \"{}\", \"margin\": {}, \"recall\": {:.4}, \"total_ndc\": {}}},\n    \"curves\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"quant_prefilter\",\n{}  \"smoke\": {smoke},\n  \"equivalence\": \"ok\",\n  \"kernel_path\": \"{kernel_path}\",\n  \"kernel_calls\": {{\"simd\": {kernel_simd}, \"scalar\": {kernel_scalar}}},\n  \"ground_truth\": {{\"graphs\": {}, \"queries\": {}, \"k\": {gt_k}, \"pr5_full_evals\": {gt_pr5_full}, \"plain_full_evals\": {gt_plain_full}, \"plain_reduction\": {plain_ratio:.3}, {}, \"best_further_reduction\": {gt_best_ratio:.3}}},\n  \"routing\": {{\n    \"graphs\": {}, \"queries\": {}, \"k\": {k}, \"b\": {b},\n    \"baseline\": {{\"recall\": {:.4}, \"total_ndc\": {}}},\n    \"operating_point\": {{\"mode\": \"{}\", \"margin\": {}, \"recall\": {:.4}, \"total_ndc\": {}}},\n    \"curves\": [\n{}\n    ]\n  }}\n}}\n",
+        lan_bench::host_header_json(),
         gt_index.dataset.graphs.len(),
         gt_idx.len(),
         gt_mode_json.join(", "),

@@ -60,7 +60,11 @@ fn classify(path: &str) -> Class {
         || leaf.ends_with("_us")
         || leaf.ends_with("_ms")
         || leaf.ends_with("_ns")
-        || leaf.ends_with("_s");
+        || leaf.ends_with("_s")
+        // Memory high-water marks describe the host's allocator/page
+        // behavior as much as the workload — host-dependent like timings.
+        || leaf.contains("peak_rss")
+        || leaf.ends_with("_kb");
     if timey {
         Class::Time
     } else if leaf.contains("ndc") || leaf.contains("full_evals") || leaf.contains("dropped") {

@@ -31,7 +31,9 @@
 //! `--smoke` shrinks the run to CI size: a tiny Hungarian-metric dataset
 //! over 2 shards, seconds end to end.
 
-use lan_bench::{bench_lan_config, finish_obs, k_for, sized_spec, Scale};
+use lan_bench::{
+    bench_lan_config, finish_obs, host_threads, k_for, sized_spec, underprovisioned, Scale,
+};
 use lan_core::{InitStrategy, LanConfig, RouteStrategy, ShardedLanIndex};
 use lan_datasets::{Dataset, DatasetSpec};
 use lan_graph::Graph;
@@ -58,7 +60,7 @@ fn run_batch(
 ) -> RunStats {
     let t0 = Instant::now();
     let outs: Vec<lan_core::QueryOutcome> = if parallel_queries {
-        lan_par::par_map(queries, |(qi, q)| {
+        lan_par::par_map_dyn(queries, lan_par::Grain::Fine, |(qi, q)| {
             let _t = trace::query(*qi as u64);
             search(q, *qi as u64)
         })
@@ -236,25 +238,29 @@ fn main() {
     let best = par_shards.qps.max(par_queries.qps);
     let speedup = best / seq.qps.max(1e-12);
     eprintln!("best parallel speedup over sequential: {speedup:.2}x");
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     // Only a real parallel host can be held to a speedup floor; on 1–2
-    // cores the honest result is ~1x and the JSON's `host_threads` says
-    // why. Smoke batches are too small to amortize thread startup.
-    if !smoke && host_threads >= 4 {
+    // cores the honest result is ~1x and the JSON tags the run
+    // `underprovisioned` so nobody reads the "speedup" as a measurement.
+    // Smoke batches are too small to amortize thread startup.
+    if !smoke && !underprovisioned() {
         assert!(
             speedup >= 1.5,
-            "parallel speedup {speedup:.2}x on a {host_threads}-thread host \
-             (floor: 1.5x with >= 4 threads)"
+            "parallel speedup {speedup:.2}x on a {}-thread host \
+             (floor: 1.5x with >= 4 threads)",
+            host_threads()
+        );
+    } else if underprovisioned() {
+        eprintln!(
+            "host has {} thread(s): speedup gate skipped, run tagged underprovisioned",
+            host_threads()
         );
     }
 
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
-        "{{\n  \"bench\": \"throughput\",\n  \"host_threads\": {},\n  \"lan_threads\": {},\n  \"num_shards\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"beam\": {},\n  \"build_s\": {:.3},\n  \"sequential\": {},\n  \"parallel_shards\": {},\n  \"parallel_queries\": {},\n  \"speedup\": {:.3}\n}}\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
-        lan_par::num_threads(),
+        "{{\n  \"bench\": \"throughput\",\n{}  \"underprovisioned\": {},\n  \"num_shards\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"beam\": {},\n  \"build_s\": {:.3},\n  \"sequential\": {},\n  \"parallel_shards\": {},\n  \"parallel_queries\": {},\n  \"speedup\": {:.3}\n}}\n",
+        lan_bench::host_header_json(),
+        underprovisioned(),
         num_shards,
         queries.len(),
         k,

@@ -205,6 +205,96 @@ pub fn k_for(scale: Scale) -> usize {
     }
 }
 
+/// Builds (or `open`s from the `LAN_STORE` cache) a sharded index over an
+/// **already generated** dataset. The cache key pins everything the scale
+/// campaign varies — dataset name, sizes, seed, and shard count; callers
+/// are responsible for regenerating `dataset` identically (the scale
+/// tiers use the seed-deterministic `Dataset::generate_par`). Stale or
+/// corrupt entries are rebuilt and overwritten, like [`build_index`].
+pub fn build_sharded_cached(
+    dataset: &Dataset,
+    cfg: &LanConfig,
+    num_shards: usize,
+) -> lan_core::ShardedLanIndex {
+    let spec = &dataset.spec;
+    let cache = std::env::var("LAN_STORE").ok().map(|dir| {
+        std::path::PathBuf::from(dir).join(format!(
+            "sharded_{}_g{}_q{}_seed{}_s{}.lan",
+            spec.name.to_lowercase(),
+            spec.num_graphs,
+            spec.num_queries,
+            spec.seed,
+            num_shards
+        ))
+    });
+    if let Some(path) = &cache {
+        match lan_core::ShardedLanIndex::open(path) {
+            Ok(index) => {
+                eprintln!(
+                    "[{}] opened cached sharded index {}",
+                    spec.name,
+                    path.display()
+                );
+                return index;
+            }
+            Err(lan_store::StoreError::Io(_)) => {} // not cached yet
+            Err(e) => eprintln!(
+                "[{}] ignoring unusable cache {}: {e}",
+                spec.name,
+                path.display()
+            ),
+        }
+    }
+    let index = lan_core::ShardedLanIndex::build(dataset, cfg, num_shards);
+    if let Some(path) = &cache {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match index.save(path) {
+            Ok(bytes) => eprintln!(
+                "[{}] cached sharded index to {} ({bytes} bytes)",
+                spec.name,
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "[{}] failed to cache sharded index to {}: {e}",
+                spec.name,
+                path.display()
+            ),
+        }
+    }
+    index
+}
+
+/// Host hardware parallelism (`available_parallelism`; 1 when the probe
+/// fails). Distinct from [`lan_par::num_threads`], which is the worker
+/// count actually used (clamped by `LAN_THREADS`).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// True when the host has too little parallelism for any speedup field to
+/// be meaningful (< 4 hardware threads). Benches record this flag instead
+/// of asserting speedup floors — a 1.0x "speedup" measured on a 1-core
+/// host is a property of the host, not a regression.
+pub fn underprovisioned() -> bool {
+    host_threads() < 4
+}
+
+/// JSON header fragment recording host and worker parallelism. Embedded
+/// near the top of every `BENCH_*.json` so readers (and the sentinel)
+/// can tell that speedup/QPS fields are functions of this configuration.
+/// Emits complete `"key": value,` lines; splice between two fields.
+pub fn host_header_json() -> String {
+    format!(
+        "  \"host_threads\": {},\n  \"lan_threads\": {},\n",
+        host_threads(),
+        lan_par::num_threads()
+    )
+}
+
 /// Finishes a bench run's observability outputs: the global metrics
 /// snapshot as `results/BENCH_obs.json` (+ `results/BENCH_obs.prom`);
 /// when `LAN_TRACE=route`, the buffered routing trace as
@@ -219,6 +309,7 @@ pub fn k_for(scale: Scale) -> usize {
 /// can cross-validate the snapshot against the bench's own accounting.
 pub fn finish_obs(bench: &str, extra: &[(&str, u64)]) {
     std::fs::create_dir_all("results").expect("create results/");
+    lan_obs::mem::sample_peak_rss();
     let snap = lan_obs::snapshot();
     let extras: String = extra
         .iter()

@@ -149,7 +149,7 @@ pub fn run_point_parallel(
 ) -> (CurvePoint, Breakdown) {
     let budget = QueryBudget::from_env();
     let t0 = Instant::now();
-    let outs: Vec<QueryOutcome> = lan_par::par_map(query_idx, |&qi| {
+    let outs: Vec<QueryOutcome> = lan_par::par_map_dyn(query_idx, lan_par::Grain::Fine, |&qi| {
         let q = &index.dataset.queries[qi];
         let _t = trace::query(qi as u64);
         // One context per query (not per batch): each query gets the full

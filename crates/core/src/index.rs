@@ -129,21 +129,24 @@ impl LanIndex {
         let pg_span = lan_obs::span("build.pg");
         let pg = ProximityGraph::build(dataset.graphs.len(), &pairs, &cfg.pg);
         drop(pg_span);
+        lan_obs::mem::sample_peak_rss();
         let build_ndc = pairs.computed();
 
         // Training distances: one row per training query, parallelized.
         let td_span = lan_obs::span("build.train_dists");
-        let train_dists: Vec<Vec<f64>> = lan_par::par_map(&dataset.split.train, |&qi| {
-            (0..dataset.graphs.len() as u32)
-                .map(|g| dataset.distance(&dataset.queries[qi], g))
-                .collect::<Vec<f64>>()
-        });
+        let train_dists: Vec<Vec<f64>> =
+            lan_par::par_map_dyn(&dataset.split.train, lan_par::Grain::Fine, |&qi| {
+                (0..dataset.graphs.len() as u32)
+                    .map(|g| dataset.distance(&dataset.queries[qi], g))
+                    .collect::<Vec<f64>>()
+            });
         drop(td_span);
 
         let models_span = lan_obs::span("build.models");
         let (models, report) =
             LanModels::train(&dataset, pg.base(), &train_dists, cfg.model.clone());
         drop(models_span);
+        lan_obs::mem::sample_peak_rss();
         LanIndex {
             dataset,
             pg,

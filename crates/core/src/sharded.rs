@@ -67,18 +67,19 @@ impl ShardedLanIndex {
         let ranges: Vec<(usize, usize)> = (0..num_shards)
             .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
             .collect();
-        let shards: Vec<LanIndex> = lan_par::par_map(&ranges, |&(lo, hi)| {
-            let sub = Dataset {
-                spec: DatasetSpec {
-                    num_graphs: hi - lo,
-                    ..dataset.spec.clone()
-                },
-                graphs: dataset.graphs[lo..hi].to_vec(),
-                queries: slim_queries.clone(),
-                split: slim_split.clone(),
-            };
-            LanIndex::build(sub, cfg.clone())
-        });
+        let shards: Vec<LanIndex> =
+            lan_par::par_map_dyn(&ranges, lan_par::Grain::Fine, |&(lo, hi)| {
+                let sub = Dataset {
+                    spec: DatasetSpec {
+                        num_graphs: hi - lo,
+                        ..dataset.spec.clone()
+                    },
+                    graphs: dataset.graphs[lo..hi].to_vec(),
+                    queries: slim_queries.clone(),
+                    split: slim_split.clone(),
+                };
+                LanIndex::build(sub, cfg.clone())
+            });
         let global_ids = ranges
             .into_iter()
             .map(|(lo, hi)| (lo as u32..hi as u32).collect())
@@ -253,7 +254,7 @@ impl ShardedLanIndex {
         // Worker threads have empty trace thread-locals; re-attach the
         // caller's traced query id so per-shard hops keep their `q`.
         let traced = lan_obs::trace::active_query();
-        let per_shard: Vec<QueryOutcome> = lan_par::par_map(&idx, |&s| {
+        let per_shard: Vec<QueryOutcome> = lan_par::par_map_dyn(&idx, lan_par::Grain::Fine, |&s| {
             let _t = lan_obs::trace::propagate(traced);
             self.shards[s].search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx)
         });
@@ -293,10 +294,11 @@ impl ShardedLanIndex {
         let ctx = BudgetCtx::new(budget);
         let idx: Vec<usize> = (0..self.shards.len()).collect();
         let traced = lan_obs::trace::active_query();
-        let pairs: Vec<(QueryOutcome, QueryExplain)> = lan_par::par_map(&idx, |&s| {
-            let _t = lan_obs::trace::propagate(traced);
-            self.shards[s].search_explain_budgeted(q, k, b, init, route, seed ^ s as u64, &ctx)
-        });
+        let pairs: Vec<(QueryOutcome, QueryExplain)> =
+            lan_par::par_map_dyn(&idx, lan_par::Grain::Fine, |&s| {
+                let _t = lan_obs::trace::propagate(traced);
+                self.shards[s].search_explain_budgeted(q, k, b, init, route, seed ^ s as u64, &ctx)
+            });
         let mut per_shard: Vec<QueryOutcome> = Vec::with_capacity(pairs.len());
         let mut plans: Vec<QueryExplain> = Vec::with_capacity(pairs.len());
         let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(pairs.len());

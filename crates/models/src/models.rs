@@ -321,19 +321,21 @@ impl LanModels {
         let mut gin_store = ParamStore::new();
         let gin = Gin::new(&mut rng, &mut gin_store, gcfg.clone());
         train_embedder(dataset, train_dists, &gin, &mut gin_store, &cfg, &mut rng);
-        let db_embeds: Vec<Vec<f32>> = lan_par::par_map(&dataset.graphs, |g| {
-            gin.embed(&gin_store, g).data().to_vec()
-        });
+        let db_embeds: Vec<Vec<f32>> =
+            lan_par::par_map_dyn(&dataset.graphs, lan_par::Grain::Coarse, |g| {
+                gin.embed(&gin_store, g).data().to_vec()
+            });
 
         // --- Quantized prefilter tier: pack codes, calibrate to GED. ---
         // Reuses the train_dists matrix, so calibration costs zero extra
         // distance computations; the training-query embeddings are one
         // cheap GIN forward each.
-        let train_embeds: Vec<Vec<f32>> = lan_par::par_map_indices(train_dists.len(), |qi| {
-            gin.embed(&gin_store, &dataset.queries[dataset.split.train[qi]])
-                .data()
-                .to_vec()
-        });
+        let train_embeds: Vec<Vec<f32>> =
+            lan_par::par_map_indices_dyn(train_dists.len(), lan_par::Grain::Auto, |qi| {
+                gin.embed(&gin_store, &dataset.queries[dataset.split.train[qi]])
+                    .data()
+                    .to_vec()
+            });
         let quant = crate::quant_index::QuantIndex::build(&db_embeds, &train_embeds, train_dists);
 
         // --- KMeans over embeddings. ---
@@ -353,7 +355,9 @@ impl LanModels {
             &[2 * cfg.embed_dim, cfg.mlp_hidden, 1],
         );
         let db_inputs_plain: Vec<CrossInput> =
-            lan_par::par_map(&dataset.graphs, |g| CrossInput::plain(g, &gcfg));
+            lan_par::par_map_dyn(&dataset.graphs, lan_par::Grain::Coarse, |g| {
+                CrossInput::plain(g, &gcfg)
+            });
         let nh_loss = train_nh(
             dataset,
             train_dists,
@@ -420,11 +424,14 @@ impl LanModels {
         );
 
         // --- Precompute database CGs (paper §VI-C: one-off). ---
-        let db_cgs: Vec<CompressedGnnGraph> = lan_par::par_map(&dataset.graphs, |g| {
-            CompressedGnnGraph::build(g, cfg.layers)
-        });
+        let db_cgs: Vec<CompressedGnnGraph> =
+            lan_par::par_map_dyn(&dataset.graphs, lan_par::Grain::Coarse, |g| {
+                CompressedGnnGraph::build(g, cfg.layers)
+            });
         let db_inputs_cg: Vec<CrossInput> =
-            lan_par::par_map(&db_cgs, |cg| CrossInput::compressed(cg, &gcfg));
+            lan_par::par_map_dyn(&db_cgs, lan_par::Grain::Coarse, |cg| {
+                CrossInput::compressed(cg, &gcfg)
+            });
 
         let rk_fused = FusedHeads::new(&rk_heads, &rk_store);
         let models = LanModels {
@@ -784,24 +791,25 @@ impl LanModels {
     /// ground-truth scan are independent, and the summed counts are
     /// order-free, so the result is identical to a sequential evaluation.
     pub fn nh_precision_on(&self, dataset: &Dataset, query_idx: &[usize]) -> (f64, f64) {
-        let counts: Vec<(usize, usize, usize)> = lan_par::par_map(query_idx, |&qi| {
-            let q = &dataset.queries[qi];
-            let ctx = self.query_context(q, true);
-            let pred = self.predicted_neighborhood_basic(&ctx, true);
-            let pred_set: std::collections::HashSet<u32> = pred.iter().copied().collect();
-            let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
-            for g in 0..dataset.graphs.len() as u32 {
-                let truth = dataset.distance(q, g) <= self.gamma_star;
-                let predicted = pred_set.contains(&g);
-                match (truth, predicted) {
-                    (true, true) => tp += 1,
-                    (false, true) => fp += 1,
-                    (true, false) => fn_ += 1,
-                    (false, false) => {}
+        let counts: Vec<(usize, usize, usize)> =
+            lan_par::par_map_dyn(query_idx, lan_par::Grain::Fine, |&qi| {
+                let q = &dataset.queries[qi];
+                let ctx = self.query_context(q, true);
+                let pred = self.predicted_neighborhood_basic(&ctx, true);
+                let pred_set: std::collections::HashSet<u32> = pred.iter().copied().collect();
+                let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+                for g in 0..dataset.graphs.len() as u32 {
+                    let truth = dataset.distance(q, g) <= self.gamma_star;
+                    let predicted = pred_set.contains(&g);
+                    match (truth, predicted) {
+                        (true, true) => tp += 1,
+                        (false, true) => fp += 1,
+                        (true, false) => fn_ += 1,
+                        (false, false) => {}
+                    }
                 }
-            }
-            (tp, fp, fn_)
-        });
+                (tp, fp, fn_)
+            });
         let (tp, fp, fn_) = counts
             .into_iter()
             .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z));
@@ -982,23 +990,28 @@ fn train_rk(
             // Pair embeddings come from the frozen encoder, so every
             // neighbor's feature is independent — build them in parallel,
             // order-preserving (rank = position in `ranked`).
-            samples.extend(lan_par::par_map_indices(ranked.len(), |rank| {
-                let nb = ranked[rank];
-                let mut tape = Tape::new();
-                let out = cross.forward(&mut tape, cross_store, &db_inputs[nb as usize], &q_input);
-                let pair = tape.value(out.h_pair).data().to_vec();
-                let feat = rk_feature(
-                    &pair,
-                    &db_embeds[g as usize],
-                    &q_gin,
-                    &db_embeds[nb as usize],
-                );
-                RkSample {
-                    feat,
-                    rank,
-                    total: ranked.len(),
-                }
-            }));
+            samples.extend(lan_par::par_map_indices_dyn(
+                ranked.len(),
+                lan_par::Grain::Auto,
+                |rank| {
+                    let nb = ranked[rank];
+                    let mut tape = Tape::new();
+                    let out =
+                        cross.forward(&mut tape, cross_store, &db_inputs[nb as usize], &q_input);
+                    let pair = tape.value(out.h_pair).data().to_vec();
+                    let feat = rk_feature(
+                        &pair,
+                        &db_embeds[g as usize],
+                        &q_gin,
+                        &db_embeds[nb as usize],
+                    );
+                    RkSample {
+                        feat,
+                        rank,
+                        total: ranked.len(),
+                    }
+                },
+            ));
         }
     }
     if samples.is_empty() {

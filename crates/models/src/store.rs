@@ -306,13 +306,18 @@ impl LanModels {
         // Deterministic database-derived caches, recomputed exactly as
         // `train` computes them.
         let gcfg = GnnConfig::uniform(num_labels, cfg.embed_dim, cfg.layers);
-        let db_cgs: Vec<CompressedGnnGraph> = lan_par::par_map(&dataset.graphs, |g| {
-            CompressedGnnGraph::build(g, cfg.layers)
-        });
+        let db_cgs: Vec<CompressedGnnGraph> =
+            lan_par::par_map_dyn(&dataset.graphs, lan_par::Grain::Coarse, |g| {
+                CompressedGnnGraph::build(g, cfg.layers)
+            });
         let db_inputs_cg: Vec<CrossInput> =
-            lan_par::par_map(&db_cgs, |cg| CrossInput::compressed(cg, &gcfg));
+            lan_par::par_map_dyn(&db_cgs, lan_par::Grain::Coarse, |cg| {
+                CrossInput::compressed(cg, &gcfg)
+            });
         let db_inputs_plain: Vec<CrossInput> =
-            lan_par::par_map(&dataset.graphs, |g| CrossInput::plain(g, &gcfg));
+            lan_par::par_map_dyn(&dataset.graphs, lan_par::Grain::Coarse, |g| {
+                CrossInput::plain(g, &gcfg)
+            });
 
         Ok(LanModels {
             cfg,

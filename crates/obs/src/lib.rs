@@ -48,6 +48,7 @@
 
 pub mod explain;
 pub mod export;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod span;
@@ -156,6 +157,10 @@ pub mod names {
     pub const STORE_LOAD_NS: &str = "store.load.ns";
     /// Size in bytes of the last store file written or opened.
     pub const STORE_BYTES: &str = "store.bytes";
+    /// Peak resident-set size of the process in kilobytes (`VmHWM` from
+    /// `/proc/self/status`; 0 on non-Linux hosts). A gauge sampled at
+    /// phase boundaries — see [`crate::mem::sample_peak_rss`].
+    pub const MEM_PEAK_RSS_KB: &str = "mem.peak_rss_kb";
 
     /// Per-shard NDC counter name (`shard.{i}.ndc`).
     pub fn shard_ndc(shard: usize) -> String {

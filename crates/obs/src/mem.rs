@@ -1,0 +1,80 @@
+//! Peak-RSS sampling: a process-wide memory high-water mark exposed as
+//! the [`crate::names::MEM_PEAK_RSS_KB`] gauge.
+//!
+//! On Linux the value is `VmHWM` from `/proc/self/status` — the kernel's
+//! own resident-set high-water mark, which is monotone over the process
+//! lifetime, so sampling at phase boundaries (index build, benchmark
+//! tiers, snapshot export) is enough to capture the true peak regardless
+//! of where inside a phase it occurred. On other platforms the probe
+//! returns `None` and the gauge stays at its last value (0 if never set);
+//! consumers treat 0 as "unsupported host", not "no memory used".
+
+use crate::names::MEM_PEAK_RSS_KB;
+
+/// Reads the current peak RSS and publishes it to the
+/// [`MEM_PEAK_RSS_KB`] gauge. Returns the sampled value in kilobytes
+/// (0 when the platform probe is unavailable).
+///
+/// Cheap enough for phase boundaries (one small procfs read), not meant
+/// for per-item hot loops.
+pub fn sample_peak_rss() -> i64 {
+    let kb = peak_rss_kb().unwrap_or(0);
+    crate::gauge(MEM_PEAK_RSS_KB).set(kb);
+    kb
+}
+
+/// The raw platform probe: peak RSS in kilobytes, `None` where
+/// unsupported.
+#[cfg(target_os = "linux")]
+pub fn peak_rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vmhwm_kb(&status)
+}
+
+/// The raw platform probe: peak RSS in kilobytes, `None` where
+/// unsupported.
+#[cfg(not(target_os = "linux"))]
+pub fn peak_rss_kb() -> Option<i64> {
+    None
+}
+
+/// Parses the `VmHWM:` line of a `/proc/<pid>/status` blob. The field is
+/// always reported in kB by the kernel; the unit suffix is verified
+/// anyway so a format change fails loudly (returns `None`) instead of
+/// mis-scaling.
+#[allow(dead_code)] // non-Linux builds only use the fallback probe
+fn parse_vmhwm_kb(status: &str) -> Option<i64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let mut parts = line.split_whitespace();
+    let _key = parts.next()?;
+    let value: i64 = parts.next()?.parse().ok()?;
+    match parts.next() {
+        Some("kB") => Some(value),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vmhwm() {
+        let blob = "Name:\tlan\nVmPeak:\t  123 kB\nVmHWM:\t   4567 kB\nVmRSS:\t 100 kB\n";
+        assert_eq!(parse_vmhwm_kb(blob), Some(4567));
+        assert_eq!(parse_vmhwm_kb("Name: x\n"), None);
+        assert_eq!(parse_vmhwm_kb("VmHWM:\t12 MB\n"), None, "unexpected unit");
+        assert_eq!(parse_vmhwm_kb("VmHWM:\tnope kB\n"), None);
+    }
+
+    #[test]
+    fn sample_publishes_gauge() {
+        let kb = sample_peak_rss();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "a live Linux process has a nonzero peak RSS");
+        }
+        assert_eq!(crate::gauge(MEM_PEAK_RSS_KB).get(), kb);
+        // Monotone: a second sample can only grow.
+        assert!(sample_peak_rss() >= kb);
+    }
+}

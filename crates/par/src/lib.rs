@@ -9,7 +9,13 @@
 //!
 //! * [`par_map`] — map a function over a slice, preserving input order;
 //! * [`par_map_indices`] — the `0..n` index variant;
-//! * [`par_chunks`] — hand each worker a contiguous sub-slice.
+//! * [`par_chunks`] — hand each worker a contiguous sub-slice;
+//! * [`par_map_dyn`] / [`par_map_indices_dyn`] / [`par_chunks_dyn`] — the
+//!   work-stealing variants: workers claim [`Grain`]-sized item ranges
+//!   from a shared atomic cursor, so skewed per-item cost (tau-aborting
+//!   A\* next to instant lower-bound prunes) cannot strand the batch
+//!   behind one unlucky static chunk. `LAN_SCHED` pins the executor
+//!   (`seq` / `static` / `ws`) for equivalence tests and benchmarks.
 //!
 //! Thread count comes from [`num_threads`]: the `LAN_THREADS` environment
 //! variable when set (any positive integer; `1` forces every helper into
@@ -213,6 +219,219 @@ pub fn num_threads() -> usize {
                 .unwrap_or(4)
         }
     }
+}
+
+/// Execution scheduler used by the dynamic helpers ([`par_map_dyn`],
+/// [`par_chunks_dyn`]), selected by the `LAN_SCHED` environment variable.
+///
+/// GED-heavy fan-outs are *skewed*: one item can cost a tau-aborting A\*
+/// solve while its neighbors are settled by instant lower-bound prunes.
+/// Static one-contiguous-chunk-per-worker scheduling then leaves workers
+/// idle behind whichever chunk drew the hard items; the work-stealing
+/// executor instead hands out small grains from a shared atomic cursor, so
+/// a fast worker immediately claims the next chunk. All three modes are
+/// bit-identical in their outputs (property-tested) — the knob exists so
+/// benchmarks and tests can pin a mode and compare wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sched {
+    /// Serial loop on the calling thread (`LAN_SCHED=seq`).
+    Sequential,
+    /// One contiguous chunk per worker (`LAN_SCHED=static`) — the PR-1
+    /// scheduling, kept as the regression reference.
+    Static,
+    /// Chunked atomic-cursor work stealing (`LAN_SCHED=ws`, the default).
+    WorkStealing,
+}
+
+impl Sched {
+    /// Stable name for bench artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sched::Sequential => "sequential",
+            Sched::Static => "static",
+            Sched::WorkStealing => "work_stealing",
+        }
+    }
+}
+
+/// The scheduler as a `Result`: `LAN_SCHED` when set and valid (`seq` /
+/// `sequential`, `static`, `ws` / `steal` / `dyn`), work stealing when
+/// unset, and a typed [`env::EnvError`] when set but malformed.
+pub fn try_sched() -> Result<Sched, env::EnvError> {
+    let parsed = env::parse_var("LAN_SCHED", |s| match s.to_ascii_lowercase().as_str() {
+        "seq" | "sequential" => Ok(Sched::Sequential),
+        "static" => Ok(Sched::Static),
+        "ws" | "steal" | "work-stealing" | "dyn" => Ok(Sched::WorkStealing),
+        _ => Err(format!("expected seq|static|ws, got {s:?}")),
+    })?;
+    Ok(parsed.unwrap_or(Sched::WorkStealing))
+}
+
+/// Scheduler used by the dynamic helpers: `LAN_SCHED` override when set
+/// (re-read on every call, like [`num_threads`]), else work stealing. A
+/// malformed value warns once on stderr and falls back to the default.
+pub fn sched() -> Sched {
+    match try_sched() {
+        Ok(s) => s,
+        Err(e) => {
+            env::warn_once(&e);
+            Sched::WorkStealing
+        }
+    }
+}
+
+/// Grain-size policy of the work-stealing executor: how many consecutive
+/// items one cursor claim hands a worker.
+///
+/// Small grains maximize balance but pay one atomic RMW plus one mutex
+/// push per grain; large grains amortize that overhead but re-introduce
+/// the idle-tail problem on skewed work. The policy:
+///
+/// * [`Grain::Fine`] — grain 1, for skewed expensive items (GED/A\* solves,
+///   whole queries, shard builds) where per-item cost dwarfs scheduling
+///   overhead and imbalance is the enemy;
+/// * [`Grain::Coarse`] — ~4 chunks per worker, for cheap uniform items
+///   (signature lower-bound scans, embedding batches) where scheduling
+///   overhead would dominate single items;
+/// * [`Grain::Auto`] — ~8 chunks per worker (capped at 256 items), a
+///   middle ground for mildly skewed work;
+/// * [`Grain::Fixed(n)`] — explicit override for benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grain {
+    Fine,
+    Auto,
+    Coarse,
+    Fixed(usize),
+}
+
+impl Grain {
+    /// Concrete grain size for `len` items on `threads` workers.
+    pub fn size(self, len: usize, threads: usize) -> usize {
+        let t = threads.max(1);
+        match self {
+            Grain::Fine => 1,
+            Grain::Auto => len.div_ceil(t * 8).clamp(1, 256),
+            Grain::Coarse => len.div_ceil(t * 4).clamp(1, 4096),
+            Grain::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// Shared work-stealing driver: workers claim `[start, start+grain)` item
+/// ranges from an atomic cursor until it passes `len`, run `run_chunk`
+/// on each claimed range, and the per-range outputs are re-assembled in
+/// input order. A panic in `run_chunk` propagates after the scope joins
+/// (sibling workers drain the remaining ranges first).
+fn dyn_run<R, F>(len: usize, threads: usize, grain: usize, run_chunk: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> Vec<R> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(len.div_ceil(grain)));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    let out = run_chunk(start, end);
+                    parts
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((start, out));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("work-stealing worker panicked");
+        }
+    });
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Work-stealing, order-preserving map over a slice.
+///
+/// Semantically identical to [`par_map`] — for a pure `f` the output is
+/// bit-identical to the serial `items.iter().map(f)` in input order — but
+/// items are claimed dynamically in `grain`-sized ranges from a shared
+/// cursor, so skewed per-item cost cannot strand work behind one slow
+/// worker. `LAN_SCHED` can force the serial or static path (same output).
+pub fn par_map_dyn<T, R, F>(items: &[T], grain: Grain, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match sched() {
+        Sched::Sequential => return items.iter().map(f).collect(),
+        Sched::Static => return par_map(items, f),
+        Sched::WorkStealing => {}
+    }
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let g = grain.size(items.len(), threads);
+    dyn_run(items.len(), threads, g, |start, end| {
+        items[start..end].iter().map(&f).collect()
+    })
+}
+
+/// [`par_map_dyn`] over the index range `0..n` (no index buffer needed).
+pub fn par_map_indices_dyn<R, F>(n: usize, grain: Grain, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match sched() {
+        Sched::Sequential => return (0..n).map(f).collect(),
+        Sched::Static => return par_map_indices(n, f),
+        Sched::WorkStealing => {}
+    }
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let g = grain.size(n, threads);
+    dyn_run(n, threads, g, |start, end| (start..end).map(&f).collect())
+}
+
+/// Work-stealing variant of [`par_chunks`]: each dynamically claimed range
+/// is handed to `f` with its starting offset, and per-range outputs are
+/// concatenated in input order.
+///
+/// Like [`par_chunks`], the chunk boundaries depend on the worker count
+/// (and here on the grain), so `f` must be chunk-homomorphic — `f(o, ab)`
+/// must equal `f(o, a) ++ f(o + |a|, b)` — for the output to be identical
+/// across schedulers and thread counts. Per-item maps that only use the
+/// offset to label items satisfy this trivially.
+pub fn par_chunks_dyn<T, R, F>(items: &[T], grain: Grain, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    match sched() {
+        Sched::Sequential => return f(0, items),
+        Sched::Static => return par_chunks(items, f),
+        Sched::WorkStealing => {}
+    }
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return f(0, items);
+    }
+    let g = grain.size(items.len(), threads);
+    dyn_run(items.len(), threads, g, |start, end| {
+        f(start, &items[start..end])
+    })
 }
 
 /// Parallel, order-preserving map over a slice.

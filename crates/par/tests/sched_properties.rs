@@ -1,0 +1,210 @@
+//! Determinism contract of the work-stealing executor: for any pure `f`,
+//! `par_map_dyn` / `par_map_indices_dyn` / `par_chunks_dyn` return output
+//! bit-identical to the static chunked helpers and to a plain serial map —
+//! across thread counts, grain policies, and forced schedulers, under
+//! empty inputs and panics. The whole workspace's "dynamic == static ==
+//! sequential" guarantee reduces to these properties plus purity of the
+//! per-item closures (which the `lan-core` end-to-end tests pin).
+
+use lan_par::{par_chunks_dyn, par_map, par_map_dyn, par_map_indices_dyn, testenv, Grain, Sched};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const GRAINS: [Grain; 5] = [
+    Grain::Fine,
+    Grain::Auto,
+    Grain::Coarse,
+    Grain::Fixed(3),
+    Grain::Fixed(1000),
+];
+
+const THREAD_COUNTS: [&str; 3] = ["1", "2", "7"];
+
+/// A deliberately skewed workload: item cost varies by two orders of
+/// magnitude, so dynamic claims interleave very differently from static
+/// chunks — exactly the regime where a scheduling bug would reorder or
+/// drop results.
+fn skewed(x: &u64) -> u64 {
+    let mut acc = *x;
+    let spins = if x.is_multiple_of(7) { 2000 } else { 20 };
+    for i in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+#[test]
+fn dyn_equals_static_equals_sequential_across_threads_and_grains() {
+    let items: Vec<u64> = (0..257).collect();
+    let serial: Vec<u64> = items.iter().map(skewed).collect();
+    for threads in THREAD_COUNTS {
+        for sched in ["seq", "static", "ws"] {
+            testenv::with_env(
+                &[("LAN_THREADS", Some(threads)), ("LAN_SCHED", Some(sched))],
+                || {
+                    let st = par_map(&items, skewed);
+                    assert_eq!(st, serial, "static diverged (threads={threads})");
+                    for grain in GRAINS {
+                        let dy = par_map_dyn(&items, grain, skewed);
+                        assert_eq!(
+                            dy, serial,
+                            "par_map_dyn diverged (threads={threads}, sched={sched}, {grain:?})"
+                        );
+                        let di = par_map_indices_dyn(items.len(), grain, |i| skewed(&items[i]));
+                        assert_eq!(
+                            di, serial,
+                            "par_map_indices_dyn diverged (threads={threads}, {grain:?})"
+                        );
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn par_chunks_dyn_concatenates_in_order() {
+    // A chunk-homomorphic f: per-item results labeled with their global
+    // index. Output must be the identity labeling for every scheduler,
+    // thread count, and grain.
+    let items: Vec<u32> = (0..143).collect();
+    for threads in THREAD_COUNTS {
+        for sched in ["seq", "static", "ws"] {
+            testenv::with_env(
+                &[("LAN_THREADS", Some(threads)), ("LAN_SCHED", Some(sched))],
+                || {
+                    for grain in GRAINS {
+                        let out = par_chunks_dyn(&items, grain, |offset, chunk| {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &x)| (offset + i, x * 2))
+                                .collect()
+                        });
+                        assert_eq!(out.len(), items.len());
+                        for (i, &(idx, x)) in out.iter().enumerate() {
+                            assert_eq!(idx, i, "sched={sched} grain={grain:?}");
+                            assert_eq!(x, 2 * i as u32);
+                        }
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn dyn_runs_every_item_exactly_once() {
+    // Cursor bookkeeping: no item may be skipped or double-claimed, even
+    // when the grain does not divide the length.
+    for (len, grain) in [
+        (0usize, Grain::Fine),
+        (1, Grain::Fixed(4)),
+        (97, Grain::Fixed(8)),
+        (64, Grain::Fixed(64)),
+    ] {
+        testenv::with_env(
+            &[("LAN_THREADS", Some("7")), ("LAN_SCHED", Some("ws"))],
+            || {
+                let calls = AtomicUsize::new(0);
+                let items: Vec<usize> = (0..len).collect();
+                let out = par_map_dyn(&items, grain, |&x| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    x
+                });
+                assert_eq!(out, items, "len={len} grain={grain:?}");
+                assert_eq!(calls.load(Ordering::Relaxed), len);
+            },
+        );
+    }
+}
+
+#[test]
+fn empty_inputs_are_fine() {
+    let empty: Vec<u32> = Vec::new();
+    for sched in ["seq", "static", "ws"] {
+        testenv::with_env(
+            &[("LAN_SCHED", Some(sched)), ("LAN_THREADS", Some("7"))],
+            || {
+                assert!(par_map_dyn(&empty, Grain::Fine, |&x: &u32| x).is_empty());
+                assert!(par_map_indices_dyn(0, Grain::Auto, |i| i).is_empty());
+                assert!(par_chunks_dyn(&empty, Grain::Coarse, |_, c| c.to_vec()).is_empty());
+            },
+        );
+    }
+}
+
+#[test]
+fn panics_propagate_not_deadlock() {
+    // A panicking item must abort the whole call with a propagated panic
+    // (sibling workers finish draining the cursor first, so the scope
+    // joins cleanly) — never a silent partial result or a hang.
+    for sched in ["seq", "static", "ws"] {
+        testenv::with_env(
+            &[("LAN_SCHED", Some(sched)), ("LAN_THREADS", Some("4"))],
+            || {
+                let items: Vec<u32> = (0..100).collect();
+                let r = std::panic::catch_unwind(|| {
+                    par_map_dyn(&items, Grain::Fine, |&x| {
+                        if x == 63 {
+                            panic!("boom at {x}");
+                        }
+                        x
+                    })
+                });
+                assert!(r.is_err(), "sched={sched}: panic must propagate");
+                // The executor is still usable afterwards.
+                assert_eq!(par_map_dyn(&items, Grain::Auto, |&x| x + 1).len(), 100);
+            },
+        );
+    }
+}
+
+#[test]
+fn lan_sched_env_parsing() {
+    for (raw, want) in [
+        ("seq", Sched::Sequential),
+        ("sequential", Sched::Sequential),
+        ("static", Sched::Static),
+        ("ws", Sched::WorkStealing),
+        ("steal", Sched::WorkStealing),
+        ("dyn", Sched::WorkStealing),
+        (" WS ", Sched::WorkStealing),
+    ] {
+        testenv::with_env(&[("LAN_SCHED", Some(raw))], || {
+            assert_eq!(lan_par::try_sched().unwrap(), want, "raw={raw:?}");
+        });
+    }
+    testenv::with_env(&[("LAN_SCHED", None)], || {
+        assert_eq!(lan_par::try_sched().unwrap(), Sched::WorkStealing);
+    });
+    for bad in ["", "fast", "ws2", "0"] {
+        testenv::with_env(&[("LAN_SCHED", Some(bad))], || {
+            let err = lan_par::try_sched().expect_err(bad);
+            assert_eq!(err.key, "LAN_SCHED");
+            // The total path must still run (falls back to work stealing).
+            assert_eq!(lan_par::sched(), Sched::WorkStealing);
+        });
+    }
+}
+
+#[test]
+fn grain_sizes_are_sane() {
+    // Fine is always 1; Auto/Coarse scale with len/threads, never zero,
+    // and cover the whole input in at most len claims.
+    assert_eq!(Grain::Fine.size(1_000_000, 8), 1);
+    assert_eq!(
+        Grain::Fixed(0).size(10, 4),
+        1,
+        "zero grain cannot make progress"
+    );
+    for len in [0usize, 1, 7, 100, 10_000] {
+        for threads in [1usize, 2, 7, 64] {
+            for g in GRAINS {
+                let s = g.size(len, threads);
+                assert!(s >= 1, "grain {g:?} collapsed to 0 at len={len}");
+            }
+        }
+    }
+    // Coarse hands out bigger chunks than Auto on big uniform batches.
+    assert!(Grain::Coarse.size(10_000, 4) >= Grain::Auto.size(10_000, 4));
+}

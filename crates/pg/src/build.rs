@@ -157,18 +157,19 @@ impl ProximityGraph {
             // in parallel and the final reduction keeps the sequential
             // tie-breaking (first strict improvement in (u, v) order).
             let reached_ref = &reached;
-            let row_best: Vec<Option<(f64, u32, u32)>> = lan_par::par_map(&unreached, |&u| {
-                let mut best: Option<(f64, u32, u32)> = None;
-                for v in 0..n as u32 {
-                    if reached_ref[v as usize] {
-                        let d = pairs.get(u, v);
-                        if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
-                            best = Some((d, u, v));
+            let row_best: Vec<Option<(f64, u32, u32)>> =
+                lan_par::par_map_dyn(&unreached, lan_par::Grain::Auto, |&u| {
+                    let mut best: Option<(f64, u32, u32)> = None;
+                    for v in 0..n as u32 {
+                        if reached_ref[v as usize] {
+                            let d = pairs.get(u, v);
+                            if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                                best = Some((d, u, v));
+                            }
                         }
                     }
-                }
-                best
-            });
+                    best
+                });
             let mut best: Option<(f64, u32, u32)> = None;
             for b in row_best.into_iter().flatten() {
                 if best.map(|(bd, _, _)| b.0 < bd).unwrap_or(true) {
@@ -362,7 +363,7 @@ fn search_layer(
             .filter(|&nb| visited.insert(nb))
             .collect();
         let dists: Vec<f64> = if fresh.len() >= MIN_PAR_BATCH {
-            lan_par::par_map(&fresh, |&nb| dist(nb))
+            lan_par::par_map_dyn(&fresh, lan_par::Grain::Fine, |&nb| dist(nb))
         } else {
             fresh.iter().map(|&nb| dist(nb)).collect()
         };
@@ -390,8 +391,9 @@ fn search_layer(
 /// Exhaustive k-NN scan — the brute-force reference used to measure recall.
 /// The scan parallelizes over the database (distances are independent).
 pub fn brute_force_knn(n: usize, query: &dyn QueryDistance, k: usize) -> Vec<(f64, u32)> {
-    let mut all: Vec<(f64, u32)> =
-        lan_par::par_map_indices(n, |i| (query.distance(i as u32), i as u32));
+    let mut all: Vec<(f64, u32)> = lan_par::par_map_indices_dyn(n, lan_par::Grain::Fine, |i| {
+        (query.distance(i as u32), i as u32)
+    });
     all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     all.truncate(k);
     all
