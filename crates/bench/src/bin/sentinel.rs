@@ -64,7 +64,10 @@ fn classify(path: &str) -> Class {
         // Memory high-water marks describe the host's allocator/page
         // behavior as much as the workload — host-dependent like timings.
         || leaf.contains("peak_rss")
-        || leaf.ends_with("_kb");
+        || leaf.ends_with("_kb")
+        // Micro-batch occupancy is a race between arrivals and the batch
+        // wait — scheduling-dependent, like a timing.
+        || leaf.contains("occupancy");
     if timey {
         Class::Time
     } else if leaf.contains("ndc") || leaf.contains("full_evals") || leaf.contains("dropped") {

@@ -10,7 +10,12 @@
 //! server, 42k–1M graph databases); EXPERIMENTS.md records what transfers:
 //! orderings, approximate speedup factors, and crossover locations.
 
-pub mod json;
+/// The zero-dep JSON parser now lives in `lan-obs` (shared with the
+/// serving protocol); re-exported here so the sentinel and smoke
+/// checkers keep their `lan_bench::json::` paths.
+pub mod json {
+    pub use lan_obs::json::*;
+}
 
 use lan_core::{LanConfig, LanIndex};
 use lan_datasets::{Dataset, DatasetSpec};

@@ -42,5 +42,5 @@ pub use index::{LanConfig, LanIndex, QuantConfig};
 pub use l2route::L2RouteIndex;
 pub use lan_gnn::QuantMode;
 pub use lan_pg::budget::{BudgetCtx, QueryBudget, Termination};
-pub use query::{InitStrategy, QueryOutcome, RouteStrategy};
+pub use query::{InitStrategy, QueryOutcome, RouteStrategy, SearchShared};
 pub use sharded::ShardedLanIndex;

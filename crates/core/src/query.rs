@@ -9,7 +9,7 @@
 use crate::index::LanIndex;
 use lan_gnn::QuantMode;
 use lan_graph::Graph;
-use lan_models::{LearnedRanker, QuantPrefilter, QueryContext};
+use lan_models::{FusedScoreService, LearnedRanker, QuantPrefilter, QueryContext, SlabArena};
 use lan_obs::explain::{BudgetExplain, QueryExplain, SolveTier, TierCounts, TimelineEvent};
 use lan_obs::{names, span, TimerCell};
 use lan_pg::budget::{budgeted_get, BudgetCtx, Termination};
@@ -18,7 +18,22 @@ use lan_pg::np_route::np_route_prefiltered;
 use lan_pg::{beam_search_budgeted, CandidatePrefilter, DistBound, DistCache, QueryDistance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shard-scoped resources the serving path shares across co-batched
+/// queries: the cross-query combining funnel for fused hop scoring, and
+/// the arena pooling per-query pair slabs. Passing one `SearchShared` to
+/// the `*_shared` entry points changes *how* work executes (fused
+/// matmuls, recycled allocations) but never *what* is computed — results,
+/// NDC, and EXPLAIN tier attribution stay bit-identical to the serial
+/// entry points (property-tested in `tests/shared_equivalence.rs`).
+pub struct SearchShared<'a> {
+    /// The shard's combining funnel (all users share one `FusedHeads`).
+    pub scorer: &'a FusedScoreService,
+    /// The shard's pair-slab pool.
+    pub arena: &'a Arc<SlabArena>,
+}
 
 /// Initial-node selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,7 +239,33 @@ impl LanIndex {
             lan_obs::explain::emit(&ex);
             return out;
         }
-        self.search_core(q, k, b, init, route, seed, ctx, None).0
+        self.search_core(q, k, b, init, route, seed, ctx, None, None)
+            .0
+    }
+
+    /// [`Self::search_with_budget`] executing through shard-shared serving
+    /// resources (cross-query fused scoring, pooled slabs). Bit-identical
+    /// results and NDC; only the execution strategy differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with_budget_shared(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        shared: &SearchShared,
+    ) -> QueryOutcome {
+        if lan_obs::explain::enabled() {
+            let (out, ex) =
+                self.search_explain_budgeted_shared(q, k, b, init, route, seed, ctx, shared);
+            lan_obs::explain::emit(&ex);
+            return out;
+        }
+        self.search_core(q, k, b, init, route, seed, ctx, None, Some(shared))
+            .0
     }
 
     /// [`Self::search_with`] that additionally returns the query's EXPLAIN
@@ -260,8 +301,41 @@ impl LanIndex {
         seed: u64,
         ctx: &BudgetCtx,
     ) -> (QueryOutcome, QueryExplain) {
+        self.search_explain_core(q, k, b, init, route, seed, ctx, None)
+    }
+
+    /// [`Self::search_explain_budgeted`] through shard-shared serving
+    /// resources — the plan's tier attribution, NDC, and results are
+    /// bit-identical to the serial variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_explain_budgeted_shared(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        shared: &SearchShared,
+    ) -> (QueryOutcome, QueryExplain) {
+        self.search_explain_core(q, k, b, init, route, seed, ctx, Some(shared))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_explain_core(
+        &self,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        shared: Option<&SearchShared>,
+    ) -> (QueryOutcome, QueryExplain) {
         let tiers = TierCounts::default();
-        let (out, trace) = self.search_core(q, k, b, init, route, seed, ctx, Some(&tiers));
+        let (out, trace) = self.search_core(q, k, b, init, route, seed, ctx, Some(&tiers), shared);
         let trace = trace.expect("collecting search always produces a stage trace");
         let limits = ctx.limits();
         let ex = QueryExplain {
@@ -307,6 +381,7 @@ impl LanIndex {
         seed: u64,
         ctx: &BudgetCtx,
         tiers: Option<&TierCounts>,
+        shared: Option<&SearchShared>,
     ) -> (QueryOutcome, Option<StageTrace>) {
         let t_start = Instant::now();
         let _q_span = span("query");
@@ -340,7 +415,10 @@ impl LanIndex {
         };
         let needs_ctx =
             matches!(route, RouteStrategy::LanRoute { .. }) || init == InitStrategy::LanIs;
-        let qctx = needs_ctx.then(|| self.models.query_context(q, use_cg));
+        let qctx = needs_ctx.then(|| match shared {
+            Some(sh) => self.models.query_context_pooled(q, use_cg, sh.arena),
+            None => self.models.query_context(q, use_cg),
+        });
 
         // --- Initial node selection. ---
         let init_t0 = Instant::now();
@@ -408,7 +486,10 @@ impl LanIndex {
             }
             RouteStrategy::LanRoute { use_cg } => {
                 let qc = qctx.as_ref().expect("LAN_Route requires a query context");
-                let ranker = LearnedRanker::new(&self.models, qc, use_cg);
+                let ranker = match shared {
+                    Some(sh) => LearnedRanker::with_shared(&self.models, qc, use_cg, sh.scorer),
+                    None => LearnedRanker::new(&self.models, qc, use_cg),
+                };
                 let prefilter = self.quant_prefilter(qc);
                 np_route_prefiltered(
                     self.pg.base(),

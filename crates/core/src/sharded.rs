@@ -9,7 +9,7 @@
 //! to global database ids.
 
 use crate::index::{LanConfig, LanIndex};
-use crate::query::{InitStrategy, QueryOutcome, RouteStrategy};
+use crate::query::{InitStrategy, QueryOutcome, RouteStrategy, SearchShared};
 use lan_datasets::{Dataset, DatasetSpec, WorkloadSplit};
 use lan_graph::Graph;
 use lan_obs::explain::{BudgetExplain, QueryExplain, TierBreakdown, TimelineEvent};
@@ -146,7 +146,7 @@ impl ShardedLanIndex {
             }
             per_shard.push(shard.search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx));
         }
-        self.merge(per_shard, k, t0, ctx.termination())
+        self.merge_shard_outcomes(per_shard, k, t0, ctx.termination())
     }
 
     /// [`ShardedLanIndex::search`] that additionally returns the merged
@@ -199,7 +199,7 @@ impl ShardedLanIndex {
             plans.push(ex);
             per_shard.push(out);
         }
-        let merged = self.merge(per_shard, k, t0, ctx.termination());
+        let merged = self.merge_shard_outcomes(per_shard, k, t0, ctx.termination());
         let ex = merged_explain(&merged, k, b, init, route, seed, &ctx, plans, timeline);
         (merged, ex)
     }
@@ -258,7 +258,7 @@ impl ShardedLanIndex {
             let _t = lan_obs::trace::propagate(traced);
             self.shards[s].search_with_budget(q, k, b, init, route, seed ^ s as u64, &ctx)
         });
-        self.merge(per_shard, k, t0, ctx.termination())
+        self.merge_shard_outcomes(per_shard, k, t0, ctx.termination())
     }
 
     /// [`ShardedLanIndex::search_par`] that additionally returns the
@@ -313,15 +313,66 @@ impl ShardedLanIndex {
             plans.push(ex);
             per_shard.push(out);
         }
-        let merged = self.merge(per_shard, k, t0, ctx.termination());
+        let merged = self.merge_shard_outcomes(per_shard, k, t0, ctx.termination());
         let ex = merged_explain(&merged, k, b, init, route, seed, &ctx, plans, timeline);
         (merged, ex)
+    }
+
+    /// One shard's slice of a fan-out query, executed through shard-shared
+    /// serving resources ([`SearchShared`]). Applies the same per-shard
+    /// seed derivation (`seed ^ s`) as every fan-out in this module, so a
+    /// serving front-end that runs shards through independent workers and
+    /// merges with [`ShardedLanIndex::merge_shard_outcomes`] reproduces
+    /// [`ShardedLanIndex::search_budgeted`] bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shard_search_budgeted_shared(
+        &self,
+        s: usize,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        shared: &SearchShared,
+    ) -> QueryOutcome {
+        self.shards[s].search_with_budget_shared(q, k, b, init, route, seed ^ s as u64, ctx, shared)
+    }
+
+    /// [`ShardedLanIndex::shard_search_budgeted_shared`] returning the
+    /// shard's EXPLAIN sub-plan alongside the outcome.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shard_search_explain_budgeted_shared(
+        &self,
+        s: usize,
+        q: &Graph,
+        k: usize,
+        b: usize,
+        init: InitStrategy,
+        route: RouteStrategy,
+        seed: u64,
+        ctx: &BudgetCtx,
+        shared: &SearchShared,
+    ) -> (QueryOutcome, QueryExplain) {
+        self.shards[s].search_explain_budgeted_shared(
+            q,
+            k,
+            b,
+            init,
+            route,
+            seed ^ s as u64,
+            ctx,
+            shared,
+        )
     }
 
     /// Merges per-shard outcomes (ordered by shard index) into one global
     /// outcome: local ids remapped through `global_ids`, NDC and the
     /// distance/GNN time components summed, `(distance, id)`-sorted top-k.
-    fn merge(
+    /// Public so external fan-outs (the serving front-end) merge exactly
+    /// like the in-process fan-outs above.
+    pub fn merge_shard_outcomes(
         &self,
         per_shard: Vec<QueryOutcome>,
         k: usize,
@@ -365,7 +416,7 @@ impl ShardedLanIndex {
 /// `total_ns` is the true wall-clock of the whole fan-out, and the
 /// sub-plans themselves ride along under `shards`.
 #[allow(clippy::too_many_arguments)]
-fn merged_explain(
+pub fn merged_explain(
     merged: &QueryOutcome,
     k: usize,
     b: usize,

@@ -16,8 +16,10 @@
 //! GED is NP-hard; the search accepts a deadline and an expansion cap and
 //! reports [`ExactOutcome::TimedOut`] when exceeded — the ground-truth
 //! protocol (paper §VII) then falls back to the approximations. The
-//! deadline is only polled every 256 expansions, keeping timing syscalls
-//! out of the expansion loop.
+//! deadline is only polled every [`ExactLimits::poll_stride`] expansions
+//! (default 256, `LAN_GED_POLL_STRIDE` or [`set_default_poll_stride`]
+//! to change it), keeping timing syscalls out of the expansion loop
+//! while bounding the worst-case deadline overshoot to one stride.
 //!
 //! [`exact_ged_within`] is the threshold-gated variant: branches whose
 //! `g + h` reaches `tau` are pruned, and if every branch is pruned the
@@ -29,6 +31,7 @@ use crate::mapping::{mapping_cost, NodeMapping, EPS};
 use lan_graph::{Graph, Label, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::time::Instant;
 
 /// Result of an exact GED attempt.
@@ -71,6 +74,15 @@ pub struct ExactLimits {
     pub timeout_ms: u64,
     /// Hard cap on A\* expansions, bounding memory.
     pub max_expansions: usize,
+    /// Deadline poll interval in A\* expansions: the wall clock is read
+    /// once every `poll_stride` expansions, so an expired deadline
+    /// overshoots by at most `poll_stride` expansions (pinned by the
+    /// `poll_stride_bounds_deadline_overshoot` test). Smaller strides
+    /// honor deadlines more tightly at the cost of more `Instant::now`
+    /// calls; the serving path tightens the process default via
+    /// [`set_default_poll_stride`] so shed deadlines are respected with
+    /// bounded overshoot.
+    pub poll_stride: usize,
 }
 
 impl Default for ExactLimits {
@@ -78,7 +90,41 @@ impl Default for ExactLimits {
         ExactLimits {
             timeout_ms: 10_000,
             max_expansions: 2_000_000,
+            poll_stride: default_poll_stride(),
         }
+    }
+}
+
+/// Programmatic override of the default deadline poll stride (`0` means
+/// "unset"); `LAN_GED_POLL_STRIDE` still wins when present so operators
+/// keep the last word.
+static DEFAULT_POLL_STRIDE_CELL: AtomicUsize = AtomicUsize::new(0);
+
+/// The historical hard-coded poll interval, used when neither the env
+/// knob nor [`set_default_poll_stride`] overrides it.
+const BASE_POLL_STRIDE: usize = 256;
+
+/// Sets the process-wide default for [`ExactLimits::poll_stride`]
+/// (clamped to >= 1). The explicit `LAN_GED_POLL_STRIDE` env knob, when
+/// set and valid, takes precedence. The serving front-end calls this at
+/// boot to tighten deadline honoring without requiring every caller to
+/// thread a stride through the cascade.
+pub fn set_default_poll_stride(stride: usize) {
+    DEFAULT_POLL_STRIDE_CELL.store(stride.max(1), AtomicOrdering::Relaxed);
+}
+
+/// Resolves the default poll stride: `LAN_GED_POLL_STRIDE` (positive
+/// integer, loudly rejected otherwise), else the programmatic override,
+/// else the historical 256.
+fn default_poll_stride() -> usize {
+    if let Some(s) =
+        lan_par::env::parse_var_or_warn("LAN_GED_POLL_STRIDE", lan_par::env::positive_usize)
+    {
+        return s;
+    }
+    match DEFAULT_POLL_STRIDE_CELL.load(AtomicOrdering::Relaxed) {
+        0 => BASE_POLL_STRIDE,
+        s => s,
     }
 }
 
@@ -143,9 +189,23 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, limits: &ExactLimits) -> ExactOutcome {
 /// pruned `f` is a certified lower bound on the true distance (every leaf
 /// descends from some pruned branch, and `h` is admissible).
 pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) -> ExactWithin {
+    exact_ged_within_counted(g1, g2, limits, tau).0
+}
+
+/// [`exact_ged_within`] that additionally reports how many A\* expansions
+/// ran — the observable the deadline-overshoot test pins down (`TimedOut`
+/// with an already-expired deadline must happen within one
+/// [`ExactLimits::poll_stride`] of expansions).
+pub fn exact_ged_within_counted(
+    g1: &Graph,
+    g2: &Graph,
+    limits: &ExactLimits,
+    tau: f64,
+) -> (ExactWithin, usize) {
     // Map from the smaller graph for a shallower tree; GED is symmetric.
     if g1.node_count() > g2.node_count() {
-        return match exact_ged_within(g2, g1, limits, tau) {
+        let (out, n) = exact_ged_within_counted(g2, g1, limits, tau);
+        return match out {
             ExactWithin::Optimal { distance, mapping } => {
                 // Invert the mapping direction.
                 let mut inv = vec![EPS; g1.node_count()];
@@ -154,18 +214,21 @@ pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) 
                         inv[v as usize] = u as NodeId;
                     }
                 }
-                ExactWithin::Optimal {
-                    distance,
-                    mapping: NodeMapping { map: inv },
-                }
+                (
+                    ExactWithin::Optimal {
+                        distance,
+                        mapping: NodeMapping { map: inv },
+                    },
+                    n,
+                )
             }
-            t => t,
+            t => (t, n),
         };
     }
     let n1 = g1.node_count();
     let n2 = g2.node_count();
     if n2 > 64 {
-        return ExactWithin::TimedOut;
+        return (ExactWithin::TimedOut, 0);
     }
     let deadline = Instant::now() + std::time::Duration::from_millis(limits.timeout_ms);
 
@@ -226,14 +289,15 @@ pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) 
         min_pruned = h0;
     }
 
+    let poll_stride = limits.poll_stride.max(1);
     let mut expansions = 0usize;
     while let Some(HeapItem { state, .. }) = heap.pop() {
         expansions += 1;
-        if expansions.is_multiple_of(256) && Instant::now() > deadline {
-            return ExactWithin::TimedOut;
+        if expansions.is_multiple_of(poll_stride) && Instant::now() > deadline {
+            return (ExactWithin::TimedOut, expansions);
         }
         if expansions > limits.max_expansions {
-            return ExactWithin::TimedOut;
+            return (ExactWithin::TimedOut, expansions);
         }
         let i = state.map.len();
         if i == n1 {
@@ -244,7 +308,7 @@ pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) 
             debug_assert!(
                 (terminal_cost(&state.g, n2, state.used, e2, state.fixed2) - distance).abs() < 1e-9
             );
-            return ExactWithin::Optimal { distance, mapping };
+            return (ExactWithin::Optimal { distance, mapping }, expansions);
         }
         let u = i as NodeId;
         // Child: u -> v for each unused v.
@@ -331,7 +395,7 @@ pub fn exact_ged_within(g1: &Graph, g2: &Graph, limits: &ExactLimits, tau: f64) 
     // infinite tau this is unreachable (the ε-child is always enqueued, so
     // some leaf is reached first).
     debug_assert!(min_pruned >= tau);
-    ExactWithin::AtLeast(min_pruned)
+    (ExactWithin::AtLeast(min_pruned), expansions)
 }
 
 /// Terminal completion cost: unused g2 nodes inserted, plus g2 edges not yet
@@ -509,6 +573,7 @@ mod tests {
             &ExactLimits {
                 timeout_ms: 1,
                 max_expansions: 10_000,
+                ..ExactLimits::default()
             },
         );
         // Either it got lucky fast or reports a timeout; must not hang.
@@ -539,9 +604,63 @@ mod tests {
             &ExactLimits {
                 timeout_ms: 0,
                 max_expansions: usize::MAX,
+                ..ExactLimits::default()
             },
         );
         assert_eq!(out, ExactOutcome::TimedOut);
+    }
+
+    #[test]
+    fn poll_stride_bounds_deadline_overshoot() {
+        // Worst-case deadline overshoot is one poll stride: with an
+        // already-expired deadline (timeout 0) on the same
+        // no-leaf-within-reach instance as above, the search must stop at
+        // the FIRST poll — exactly `poll_stride` expansions, never more.
+        let c24: Vec<(u32, u32)> = (0..24).map(|i| (i, (i + 1) % 24)).collect();
+        let g1 = Graph::from_edges(vec![0; 24], &c24).unwrap();
+        let two_c12: Vec<(u32, u32)> = (0..12)
+            .map(|i| (i, (i + 1) % 12))
+            .chain((0..12).map(|i| (12 + i, 12 + (i + 1) % 12)))
+            .collect();
+        let g2 = Graph::from_edges(vec![0; 24], &two_c12).unwrap();
+        for stride in [1usize, 8, 64, 256] {
+            let limits = ExactLimits {
+                timeout_ms: 0,
+                max_expansions: usize::MAX,
+                poll_stride: stride,
+            };
+            let (out, expansions) = exact_ged_within_counted(&g1, &g2, &limits, f64::INFINITY);
+            assert_eq!(out, ExactWithin::TimedOut, "stride {stride}");
+            assert_eq!(
+                expansions, stride,
+                "expired deadline overshot the poll stride"
+            );
+        }
+    }
+
+    #[test]
+    fn poll_stride_default_resolution() {
+        // Env knob > programmatic override > historical 256; malformed
+        // env values warn and fall through to the override.
+        lan_par::testenv::with_env(&[("LAN_GED_POLL_STRIDE", None)], || {
+            set_default_poll_stride(0); // clamps to 1
+            assert_eq!(ExactLimits::default().poll_stride, 1);
+            set_default_poll_stride(64);
+            assert_eq!(ExactLimits::default().poll_stride, 64);
+        });
+        lan_par::testenv::with_env(&[("LAN_GED_POLL_STRIDE", Some("32"))], || {
+            set_default_poll_stride(64);
+            assert_eq!(ExactLimits::default().poll_stride, 32);
+        });
+        lan_par::testenv::with_env(&[("LAN_GED_POLL_STRIDE", Some("zero"))], || {
+            lan_par::env::reset_warnings();
+            set_default_poll_stride(77);
+            assert_eq!(ExactLimits::default().poll_stride, 77);
+        });
+        // Other tests construct ExactLimits::default() concurrently; leave
+        // the process default on the historical stride. (256 is what an
+        // unset cell resolves to, so storing it directly is equivalent.)
+        set_default_poll_stride(256);
     }
 
     #[test]

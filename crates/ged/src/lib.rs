@@ -46,5 +46,6 @@ pub use engine::{
     ged, ged_within, ged_within_outcome, ground_truth_ged, CascadeOutcome, GedBound, GedMethod,
     GroundTruthConfig,
 };
+pub use exact::{set_default_poll_stride, ExactLimits};
 pub use mapping::{mapping_cost, NodeMapping};
 pub use scratch::GedScratch;

@@ -1,0 +1,276 @@
+//! Cross-query fused hop scoring: a combining funnel over
+//! [`FusedHeads`].
+//!
+//! PR-4's fast path already stacks one hop's neighbors into a single
+//! fused-head matmul *per query*. The serving front-end co-batches
+//! concurrent queries per shard, and this service extends the stacking
+//! *across* queries: every hop-scoring job submitted while a combine is
+//! in flight is parked, and the next thread to find the funnel idle
+//! drains the whole queue, stacks all parked feature rows into one
+//! matrix, and runs **one** `FusedHeads::score_into` for all of them.
+//!
+//! # Bit-identity
+//!
+//! `FusedHeads::score_into` guarantees each output row depends only on
+//! its own input row (documented and property-tested in `lan-tensor`),
+//! and the per-row score reduction below (`Σ_heads sigmoid(logit)`, head
+//! order ascending) is byte-for-byte the reduction of
+//! `LanModels::rank_batches`. A job therefore receives exactly the
+//! scores it would have computed alone, no matter which queries it was
+//! co-batched with — this is what makes the serving path's results
+//! provably identical to serial execution (pinned by the equivalence
+//! property tests in `lan-core` and `lan-serve`).
+//!
+//! # Liveness
+//!
+//! No dedicated scorer thread and no timers: a submitting thread either
+//! becomes the combiner (funnel idle) or waits on the condvar for a
+//! combiner to deliver its result. The combiner drains only the jobs
+//! present when it starts; jobs arriving mid-combine are parked and the
+//! first of them to wake becomes the next combiner. Under zero
+//! concurrency the funnel degenerates to one-job batches with one
+//! uncontended mutex acquisition of overhead.
+
+use lan_obs::{names, Counter};
+use lan_tensor::{sigmoid, FusedHeads, Matrix};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+struct FusedMetrics {
+    calls: &'static Counter,
+    rows: &'static Counter,
+    jobs: &'static Counter,
+    xquery: &'static Counter,
+}
+
+fn metrics() -> &'static FusedMetrics {
+    static M: OnceLock<FusedMetrics> = OnceLock::new();
+    M.get_or_init(|| FusedMetrics {
+        calls: lan_obs::counter(names::FUSED_CALLS),
+        rows: lan_obs::counter(names::FUSED_ROWS),
+        jobs: lan_obs::counter(names::FUSED_JOBS),
+        xquery: lan_obs::counter(names::FUSED_XQUERY),
+    })
+}
+
+/// One parked hop-scoring job: a flat `rows × dim` feature buffer.
+struct PendingJob {
+    id: u64,
+    rows: usize,
+    feats: Vec<f32>,
+}
+
+struct SvcState {
+    next_id: u64,
+    pending: Vec<PendingJob>,
+    combining: bool,
+    done: HashMap<u64, Vec<f32>>,
+}
+
+/// The combining funnel. One instance per shard (co-batched queries of a
+/// shard share its `FusedHeads` weights; fusing across shards would mix
+/// different models). Shared by reference across the shard's co-batched
+/// query executions.
+pub struct FusedScoreService {
+    state: Mutex<SvcState>,
+    cv: Condvar,
+}
+
+impl Default for FusedScoreService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FusedScoreService {
+    pub fn new() -> Self {
+        FusedScoreService {
+            state: Mutex::new(SvcState {
+                next_id: 0,
+                pending: Vec::new(),
+                combining: false,
+                done: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Scores `feats` (a flat `rows × dim` buffer, `rows >= 1`) through
+    /// `fused`, returning one summed-sigmoid score per row. Blocks until
+    /// the result is available; the rows may be computed by this thread
+    /// (as combiner, possibly stacked with other queries' parked jobs) or
+    /// by a sibling. All callers of one service instance must pass the
+    /// same `fused` weights.
+    pub fn score(&self, fused: &FusedHeads, dim: usize, feats: Vec<f32>) -> Vec<f32> {
+        debug_assert!(dim > 0 && !feats.is_empty() && feats.len().is_multiple_of(dim));
+        let rows = feats.len() / dim;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.next_id;
+        st.next_id += 1;
+        st.pending.push(PendingJob { id, rows, feats });
+        loop {
+            if let Some(scores) = st.done.remove(&id) {
+                return scores;
+            }
+            if !st.combining {
+                // Funnel idle and our job is still parked: become the
+                // combiner and drain everything parked so far.
+                st.combining = true;
+                let jobs = std::mem::take(&mut st.pending);
+                drop(st);
+                let mut outputs = Self::combine(fused, dim, &jobs);
+                st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.combining = false;
+                let mut mine = None;
+                for (job, scores) in jobs.iter().zip(outputs.drain(..)) {
+                    if job.id == id {
+                        mine = Some(scores);
+                    } else {
+                        st.done.insert(job.id, scores);
+                    }
+                }
+                // Wake parked siblings: delivered jobs find their scores,
+                // mid-combine arrivals find the funnel idle and take over.
+                self.cv.notify_all();
+                return mine.expect("combiner always drains its own job");
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stacks every job's rows into one matrix, runs one fused forward,
+    /// and splits the per-row scores back out per job (row order within a
+    /// job preserved, so the reduction is bit-identical to a solo run).
+    fn combine(fused: &FusedHeads, dim: usize, jobs: &[PendingJob]) -> Vec<Vec<f32>> {
+        thread_local! {
+            static SCRATCH: RefCell<(Matrix, Matrix, Matrix)> =
+                RefCell::new((Matrix::zeros(0, 0), Matrix::zeros(0, 0), Matrix::zeros(0, 0)));
+        }
+        let total_rows: usize = jobs.iter().map(|j| j.rows).sum();
+        let m = metrics();
+        m.calls.inc();
+        m.rows.add(total_rows as u64);
+        m.jobs.add(jobs.len() as u64);
+        if jobs.len() > 1 {
+            m.xquery.inc();
+        }
+        SCRATCH.with(|s| {
+            let (feats, hidden, logits) = &mut *s.borrow_mut();
+            feats.reset(total_rows, dim);
+            let mut r = 0usize;
+            for job in jobs {
+                for jr in 0..job.rows {
+                    feats
+                        .row_mut(r)
+                        .copy_from_slice(&job.feats[jr * dim..(jr + 1) * dim]);
+                    r += 1;
+                }
+            }
+            fused.score_into(feats, hidden, logits);
+            let mut out = Vec::with_capacity(jobs.len());
+            let mut r = 0usize;
+            for job in jobs {
+                let mut scores = Vec::with_capacity(job.rows);
+                for _ in 0..job.rows {
+                    let mut score = 0.0f32;
+                    for hd in 0..fused.num_heads {
+                        score += sigmoid(logits.get(r, hd));
+                    }
+                    scores.push(score);
+                    r += 1;
+                }
+                out.push(scores);
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lan_tensor::{Mlp, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn tiny_fused(store: &mut ParamStore, seed: u64) -> FusedHeads {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let heads: Vec<Mlp> = (0..3)
+            .map(|_| Mlp::new(&mut rng, store, &[5, 4, 1]))
+            .collect();
+        FusedHeads::new(&heads, store)
+    }
+
+    fn solo_scores(fused: &FusedHeads, dim: usize, feats: &[f32]) -> Vec<f32> {
+        let rows = feats.len() / dim;
+        let mut x = Matrix::zeros(rows, dim);
+        for r in 0..rows {
+            x.row_mut(r).copy_from_slice(&feats[r * dim..(r + 1) * dim]);
+        }
+        let mut hidden = Matrix::zeros(0, 0);
+        let mut logits = Matrix::zeros(0, 0);
+        fused.score_into(&x, &mut hidden, &mut logits);
+        (0..rows)
+            .map(|r| {
+                (0..fused.num_heads)
+                    .map(|h| sigmoid(logits.get(r, h)))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn funnel_matches_solo_scoring_bitwise() {
+        let mut store = ParamStore::new();
+        let fused = tiny_fused(&mut store, 0x5eed);
+        let dim = 5;
+        let svc = FusedScoreService::new();
+        for rows in [1usize, 2, 7] {
+            let feats: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.37).sin()).collect();
+            let got = svc.score(&fused, dim, feats.clone());
+            let want = solo_scores(&fused, dim, &feats);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_their_own_rows() {
+        let mut store = ParamStore::new();
+        let fused = Arc::new(tiny_fused(&mut store, 0xfeed));
+        let dim = 5;
+        let svc = Arc::new(FusedScoreService::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                let fused = Arc::clone(&fused);
+                std::thread::spawn(move || {
+                    let mut all = Vec::new();
+                    for round in 0..16u64 {
+                        let rows = 1 + ((t + round) % 4) as usize;
+                        let feats: Vec<f32> = (0..rows * dim)
+                            .map(|i| ((t * 1000 + round * 10 + i as u64) as f32 * 0.11).cos())
+                            .collect();
+                        let got = svc.score(&fused, dim, feats.clone());
+                        all.push((feats, got));
+                    }
+                    all
+                })
+            })
+            .collect();
+        for h in handles {
+            for (feats, got) in h.join().unwrap() {
+                let want = solo_scores(&fused, dim, &feats);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "a co-batched job received rows that differ from its solo scores"
+                );
+            }
+        }
+    }
+}

@@ -1,10 +1,14 @@
-//! A minimal recursive-descent JSON parser for the bench artifacts.
+//! A minimal recursive-descent JSON parser for the bench artifacts and
+//! the serving protocol.
 //!
 //! The workspace is dependency-free by policy, and the regression
 //! sentinel needs more than the `obs_check` key scanner: it diffs whole
-//! documents, so it walks real trees. This parser covers exactly the
-//! JSON the bench binaries emit (objects, arrays, numbers, strings with
-//! plain escapes, booleans, null) — not a general-purpose validator.
+//! documents, so it walks real trees; `lan-serve` reuses the same parser
+//! for its request frames. This parser covers exactly the JSON those
+//! producers emit (objects, arrays, numbers, strings with plain escapes,
+//! booleans, null) — not a general-purpose validator. It lives in
+//! `lan-obs` (the workspace's leaf utility crate) so both the bench
+//! binaries and the server can share it without a dependency cycle.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -48,6 +48,7 @@
 
 pub mod explain;
 pub mod export;
+pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod profile;
@@ -161,6 +162,31 @@ pub mod names {
     /// `/proc/self/status`; 0 on non-Linux hosts). A gauge sampled at
     /// phase boundaries — see [`crate::mem::sample_peak_rss`].
     pub const MEM_PEAK_RSS_KB: &str = "mem.peak_rss_kb";
+    /// Fused-head score batches executed by the cross-query combining
+    /// funnel (one per `FusedHeads` matmul, however many queries fed it).
+    pub const FUSED_CALLS: &str = "gnn.fused.calls";
+    /// Feature rows pushed through the combining funnel (summed over all
+    /// co-batched queries; `rows / calls` is the mean stacking factor).
+    pub const FUSED_ROWS: &str = "gnn.fused.rows";
+    /// Hop-scoring jobs submitted to the combining funnel (one per query
+    /// hop; `jobs / calls > 1` means genuine cross-query stacking).
+    pub const FUSED_JOBS: &str = "gnn.fused.jobs";
+    /// Funnel combines that stacked rows from more than one query — the
+    /// cross-query fusion the serving batcher exists to produce.
+    pub const FUSED_XQUERY: &str = "gnn.fused.cross_query";
+    /// Requests accepted by the serving admission gate.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Requests shed (typed `Overloaded` response) — admission caps and
+    /// expired deadline budgets, never a queueing collapse.
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests currently admitted and not yet answered (gauge).
+    pub const SERVE_INFLIGHT: &str = "serve.inflight";
+    /// Histogram of micro-batch occupancy: shard tasks executed per
+    /// batch-formation round of a shard worker.
+    pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch.occupancy";
+    /// Histogram of end-to-end request latency in nanoseconds (admission
+    /// to response write).
+    pub const SERVE_LATENCY_NS: &str = "serve.latency_ns";
 
     /// Per-shard NDC counter name (`shard.{i}.ndc`).
     pub fn shard_ndc(shard: usize) -> String {
